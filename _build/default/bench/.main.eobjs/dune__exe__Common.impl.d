@@ -1,0 +1,1 @@
+bench/common.ml: Dtr Fusion_compiler Hardware List Magis Naive Op_cost Outcome Pofo Printf Search String Xla Zoo

@@ -1,0 +1,1 @@
+bench/design.ml: Allocator Common Graph List Magis Outcome Printf Search Zoo

@@ -1,0 +1,1 @@
+bench/fig11.ml: Common Dtr Fusion_compiler List Magis Outcome Pofo Printf Xla Zoo

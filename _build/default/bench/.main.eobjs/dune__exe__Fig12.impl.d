@@ -1,0 +1,1 @@
+bench/fig12.ml: Common List Magis Microbatch Outcome Pofo Printf Transformer Zoo

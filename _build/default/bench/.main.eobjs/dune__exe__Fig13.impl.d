@@ -1,0 +1,1 @@
+bench/fig13.ml: Common Float List Magis Outcome Printf Search String Zoo

@@ -1,0 +1,1 @@
+bench/fig14.ml: Common Float Hashtbl Incremental Lifetime List Magis Printf Randnet Reorder Rule Sched_rules Simulator Taso_rules Unix Util

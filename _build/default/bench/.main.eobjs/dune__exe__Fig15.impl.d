@@ -1,0 +1,1 @@
+bench/fig15.ml: Common Magis Op_cost Printf Search Zoo

@@ -1,0 +1,1 @@
+bench/fig16.ml: Array Common Ftree Graph Lifetime List Magis Mstate Op_cost Printf Search Simulator Zoo

@@ -1,0 +1,1 @@
+bench/fig9.ml: Common List Magis Printf Zoo

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Common Design Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig9 Fmt List Micro Printf Spatial_bench String Table2 Term Unix

@@ -1,0 +1,1 @@
+bench/spatial_bench.ml: Common Graph Hardware Hashtbl List Magis Magis_exec Op_cost Printf Reorder Search Simulator Spatial Unet Zoo

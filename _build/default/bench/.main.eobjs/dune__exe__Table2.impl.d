@@ -1,0 +1,1 @@
+bench/table2.ml: Common Graph List Magis Printf Zoo

@@ -1,0 +1,32 @@
+(** Figure 10: execution-latency overhead relative to unoptimized PyTorch
+    under peak-memory constraints of 80% (a) and 40% (b) (lower is better;
+    FAILURE = the system cannot reach the memory budget). *)
+
+open Magis
+
+let run (env : Common.env) =
+  List.iter
+    (fun mem_ratio ->
+      Common.hr
+        (Printf.sprintf
+           "Figure 10 (%s): latency overhead @ memory ratio < %.0f%%"
+           (if mem_ratio = 0.8 then "a" else "b")
+           (100.0 *. mem_ratio));
+      let workloads = Zoo.all in
+      let col_names = List.map (fun (w : Zoo.workload) -> w.name) workloads in
+      let rows = [ "MAGIS"; "POFO"; "DTR"; "XLA"; "TVM"; "TI" ] in
+      let columns =
+        List.map
+          (fun w ->
+            let g = Common.workload_graph env w in
+            let base = Common.baseline env g in
+            List.map
+              (fun o -> Common.cell_overhead o ~base)
+              (Common.systems_latency env g ~mem_ratio))
+          workloads
+      in
+      let cells =
+        List.mapi (fun i _ -> List.map (fun col -> List.nth col i) columns) rows
+      in
+      Common.print_matrix ~row_names:rows ~col_names cells)
+    [ 0.8; 0.4 ]

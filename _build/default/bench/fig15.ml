@@ -1,0 +1,33 @@
+(** Figure 15: optimization-time breakdown of a 1-minute ViT optimization:
+    counts and cumulative seconds of the transformation, scheduling,
+    simulation and hash-test phases, plus the number of duplicate graphs
+    filtered by the hash test. *)
+
+open Magis
+
+let run (env : Common.env) =
+  let w = Zoo.find "ViT-base" in
+  let g = Common.workload_graph env w in
+  Common.hr
+    (Printf.sprintf
+       "Figure 15: optimization time breakdown, ViT (batch %d), %.0fs budget"
+       w.batch env.budget);
+  let config = Common.search_config env in
+  let r = Search.optimize_latency ~config env.cache ~mem_ratio:0.6 g in
+  let st = r.stats in
+  let total =
+    st.t_transform +. st.t_sched +. st.t_simul +. st.t_hash
+  in
+  Printf.printf "%-10s %10s %10s %10s %10s %10s %10s\n" "" "Total" "Trans."
+    "Sched." "Simul." "Hash" "Filtered";
+  Printf.printf "%-10s %10d %10d %10d %10d %10d %10d\n" "Count"
+    (st.n_transform + st.n_sched + st.n_simul + st.n_hash)
+    st.n_transform st.n_sched st.n_simul st.n_hash st.n_filtered;
+  Printf.printf "%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10s\n"
+    "Cost(secs)" total st.t_transform st.t_sched st.t_simul st.t_hash "/";
+  Printf.printf "\nIterations: %d; best peak %.1f MB, best latency %.2f ms\n"
+    st.iterations
+    (float_of_int r.best.peak_mem /. 1e6)
+    (r.best.latency *. 1e3);
+  let hits, misses = Op_cost.stats env.cache in
+  Printf.printf "Operator cost cache: %d hits, %d misses\n" hits misses

@@ -1,0 +1,33 @@
+(** Figure 9: peak-memory ratio relative to unoptimized PyTorch under
+    latency-overhead constraints of 10% (a) and 5% (b), for MAGIS and the
+    five baselines on all seven workloads (lower is better; OOM = cannot
+    meet the constraint on the experiment platform). *)
+
+open Magis
+
+let run (env : Common.env) =
+  List.iter
+    (fun overhead ->
+      Common.hr
+        (Printf.sprintf "Figure 9 (%s): memory ratio @ latency overhead < %.0f%%"
+           (if overhead = 0.10 then "a" else "b")
+           (100.0 *. overhead));
+      let workloads = Zoo.all in
+      let col_names = List.map (fun (w : Zoo.workload) -> w.name) workloads in
+      let rows = [ "MAGIS"; "POFO"; "DTR"; "XLA"; "TVM"; "TI" ] in
+      let columns =
+        List.map
+          (fun w ->
+            let g = Common.workload_graph env w in
+            let base = Common.baseline env g in
+            List.map
+              (fun o -> Common.cell_ratio o ~base)
+              (Common.systems_memory env g ~overhead))
+          workloads
+      in
+      (* transpose: columns are per-workload lists of per-system cells *)
+      let cells =
+        List.mapi (fun i _ -> List.map (fun col -> List.nth col i) columns) rows
+      in
+      Common.print_matrix ~row_names:rows ~col_names cells)
+    [ 0.10; 0.05 ]

@@ -1,0 +1,68 @@
+(** Benchmark harness entry point: regenerates every table and figure of
+    the paper's evaluation section (see DESIGN.md §3 for the index).
+
+    Usage: [dune exec bench/main.exe -- [EXPERIMENTS] [--full] [--budget S]]
+
+    By default runs every experiment at Quick scale (depth-reduced models,
+    short search budgets) so the suite completes in minutes; [--full] uses
+    the paper-scale model configurations. *)
+
+let experiments : (string * (Common.env -> unit)) list =
+  [
+    ("table2", Table2.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("fig15", Fig15.run);
+    ("fig16", Fig16.run);
+    ("micro", Micro.run);
+    ("design", Design.run);
+    ("spatial", Spatial_bench.run);
+  ]
+
+let run_selected names full budget =
+  let env = Common.make_env ~full ~budget in
+  let selected =
+    match names with
+    | [] | [ "all" ] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Fmt.failwith "unknown experiment %s (expected %s or all)" n
+                  (String.concat ", " (List.map fst experiments)))
+          names
+  in
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f env;
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+    selected
+
+open Cmdliner
+
+let names =
+  let doc = "Experiments to run (table2, fig9..fig16, micro, all)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let full =
+  let doc = "Use the paper-scale model configurations (slow)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let budget =
+  let doc = "Search time budget per MAGIS optimization, in seconds." in
+  Arg.(value & opt float 5.0 & info [ "budget" ] ~doc)
+
+let cmd =
+  let doc = "Regenerate the MAGIS paper's evaluation tables and figures" in
+  Cmd.v
+    (Cmd.info "magis-bench" ~doc)
+    Term.(const run_selected $ names $ full $ budget)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,18 @@
+(** Table 2: evaluation workloads and their configurations, plus the
+    measured graph statistics at the selected scale. *)
+
+open Magis
+
+let run (env : Common.env) =
+  Common.hr "Table 2: Workloads for Evaluation";
+  Printf.printf "%-12s %6s  %-34s %8s %12s %12s\n" "Name" "Batch"
+    "Other Configuration" "Nodes" "Weights(MB)" "Peak(MB)";
+  List.iter
+    (fun (w : Zoo.workload) ->
+      let g = Common.workload_graph env w in
+      let base = Common.baseline env g in
+      Printf.printf "%-12s %6d  %-34s %8d %12.1f %12.1f\n" w.name w.batch
+        w.config (Graph.n_nodes g)
+        (float_of_int (Graph.weight_bytes g) /. 1e6)
+        (float_of_int base.peak_mem /. 1e6))
+    Zoo.all

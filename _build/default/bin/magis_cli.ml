@@ -1,0 +1,166 @@
+(** MAGIS command-line interface.
+
+    - [magis_cli list] — available workloads (Table 2);
+    - [magis_cli inspect WORKLOAD] — graph statistics, D-Graph dimensions
+      and F-Tree candidates;
+    - [magis_cli optimize WORKLOAD (--max-overhead P | --mem-ratio R)] —
+      run the optimizer and print the resulting plan. *)
+
+open Magis
+
+let mb b = float_of_int b /. 1e6
+let ms s = s *. 1e3
+
+let load name full =
+  let w = Zoo.find name in
+  (w, w.build (if full then Zoo.Full else Zoo.Quick))
+
+let cmd_list () =
+  Printf.printf "%-12s %6s  %s\n" "Name" "Batch" "Configuration";
+  List.iter
+    (fun (w : Zoo.workload) ->
+      Printf.printf "%-12s %6d  %s\n" w.name w.batch w.config)
+    Zoo.all
+
+let cmd_inspect name full =
+  let w, g = load name full in
+  let cache = Op_cost.create Hardware.default in
+  let base = Simulator.run cache g (Graph.program_order g) in
+  Printf.printf "%s (batch %d, %s)\n" w.name w.batch w.config;
+  Printf.printf "  operators:   %d\n" (Graph.n_nodes g);
+  Printf.printf "  weights:     %.1f MB\n" (mb (Graph.weight_bytes g));
+  Printf.printf "  peak memory: %.1f MB (unoptimized)\n" (mb base.peak_mem);
+  Printf.printf "  step time:   %.2f ms (unoptimized)\n" (ms base.latency);
+  let dg = Dgraph.build g in
+  let comps = Dgraph.components dg in
+  Printf.printf "  graph-level dimensions: %d\n" (List.length comps);
+  let hot = Lifetime.hotspots base.analysis in
+  Printf.printf "  memory hot-spots: %d tensors, %.1f MB\n"
+    (Util.Int_set.cardinal hot)
+    (mb (Lifetime.hotspot_bytes base.analysis));
+  let t = Ftree.construct g ~hotspots:hot in
+  Printf.printf "  fission candidates (F-Tree): %d\n" (Ftree.n_entries t);
+  for i = 0 to Ftree.n_entries t - 1 do
+    let e = Ftree.entry t i in
+    Printf.printf "    [%d] parent=%d |S|=%d\n" i e.parent
+      (Util.Int_set.cardinal (Fission.members e.fission))
+  done
+
+let cmd_optimize name full overhead mem_ratio budget =
+  let w, g = load name full in
+  let cache = Op_cost.create Hardware.default in
+  let base = Simulator.run cache g (Graph.program_order g) in
+  let config = { Search.default_config with time_budget = budget } in
+  let result =
+    match (overhead, mem_ratio) with
+    | Some o, _ -> Search.optimize_memory ~config cache ~overhead:o g
+    | None, Some r -> Search.optimize_latency ~config cache ~mem_ratio:r g
+    | None, None -> Search.optimize_memory ~config cache ~overhead:0.10 g
+  in
+  let best = result.best in
+  Printf.printf "%s: %.1f MB / %.2f ms  ->  %.1f MB / %.2f ms\n" w.name
+    (mb base.peak_mem) (ms base.latency) (mb best.peak_mem) (ms best.latency);
+  Printf.printf "  memory ratio %.2f, latency %+.1f%%\n"
+    (float_of_int best.peak_mem /. float_of_int base.peak_mem)
+    (100.0 *. (best.latency -. base.latency) /. base.latency);
+  Printf.printf "  plan: %d fission region(s), %d swap(s); searched %d states\n"
+    (List.length (Ftree.enabled_indices best.ftree))
+    (Graph.fold (fun n a -> if n.op = Op.Store then a + 1 else a) best.graph 0)
+    result.stats.iterations;
+  List.iter
+    (fun i ->
+      let f = Ftree.fission_at best.ftree i in
+      Printf.printf "    fission: %d ops into %d parts\n"
+        (Util.Int_set.cardinal (Fission.members f))
+        (Fission.fission_number f))
+    (Ftree.enabled_indices best.ftree)
+
+let cmd_codegen name full budget output =
+  let _, g = load name full in
+  let cache = Op_cost.create Hardware.default in
+  let config = { Search.default_config with time_budget = budget } in
+  let result = Search.optimize_memory ~config cache ~overhead:0.10 g in
+  let best = result.best in
+  let code =
+    Pytorch_codegen.emit_expanded
+      ~module_doc:
+        (Printf.sprintf "MAGIS-optimized %s (peak %.1f MB, %+.1f%% latency)"
+           name
+           (mb best.peak_mem)
+           (100.0
+           *. (best.latency -. (Simulator.run cache g (Graph.program_order g)).latency)
+           /. (Simulator.run cache g (Graph.program_order g)).latency))
+      best.graph best.ftree
+      ~reschedule:(fun g' -> Reorder.schedule ~max_states:0 g')
+  in
+  match output with
+  | None -> print_string code
+  | Some path ->
+      let oc = open_out path in
+      output_string oc code;
+      close_out oc;
+      Printf.printf "wrote %s (%d lines)\n" path
+        (List.length (String.split_on_char '\n' code))
+
+let cmd_export name full fmt_ =
+  let _, g = load name full in
+  match fmt_ with
+  | "dot" -> print_string (Export.to_dot g)
+  | "text" -> print_string (Export.to_text g)
+  | "summary" -> print_endline (Export.summary g)
+  | other -> Printf.eprintf "unknown format %s (dot|text|summary)\n" other
+
+open Cmdliner
+
+let workload = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale model configuration.")
+
+let list_cmd = Cmd.v (Cmd.info "list" ~doc:"List workloads") Term.(const cmd_list $ const ())
+
+let inspect_cmd =
+  Cmd.v (Cmd.info "inspect" ~doc:"Analyze a workload")
+    Term.(const cmd_inspect $ workload $ full)
+
+let optimize_cmd =
+  let overhead =
+    Arg.(value & opt (some float) None
+         & info [ "max-overhead" ] ~doc:"Minimize memory; allow this latency overhead (e.g. 0.10).")
+  in
+  let mem_ratio =
+    Arg.(value & opt (some float) None
+         & info [ "mem-ratio" ] ~doc:"Minimize latency; cap memory at this ratio of the unoptimized peak.")
+  in
+  let budget =
+    Arg.(value & opt float 10.0 & info [ "budget" ] ~doc:"Search seconds.")
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Optimize a workload")
+    Term.(const cmd_optimize $ workload $ full $ overhead $ mem_ratio $ budget)
+
+let codegen_cmd =
+  let budget =
+    Arg.(value & opt float 10.0 & info [ "budget" ] ~doc:"Search seconds.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write the Python module here.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Optimize a workload and emit PyTorch code for the result")
+    Term.(const cmd_codegen $ workload $ full $ budget $ output)
+
+let export_cmd =
+  let fmt_ =
+    Arg.(value & opt string "summary"
+         & info [ "format" ] ~doc:"dot, text or summary.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a workload graph")
+    Term.(const cmd_export $ workload $ full $ fmt_)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
+          [ list_cmd; inspect_cmd; optimize_cmd; codegen_cmd; export_cmd ]))

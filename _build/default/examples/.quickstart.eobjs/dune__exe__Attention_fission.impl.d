@@ -1,0 +1,1 @@
+examples/attention_fission.ml: Builder Dgraph Fission Fmt Ftree Graph Hardware Lifetime List Magis Op_cost Reorder Shape Simulator Transformer Util

@@ -1,0 +1,1 @@
+examples/custom_model.ml: Autodiff Builder Fmt Graph Hardware List Magis Op_cost Search Shape Simulator Transformer

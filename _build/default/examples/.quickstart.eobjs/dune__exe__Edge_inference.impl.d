@@ -1,0 +1,1 @@
+examples/edge_inference.ml: Fmt Graph Hardware List Magis Op_cost Reorder Search Simulator Spatial Unet Util

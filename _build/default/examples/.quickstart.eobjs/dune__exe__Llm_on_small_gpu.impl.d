@@ -1,0 +1,1 @@
+examples/llm_on_small_gpu.ml: Dtr Fmt Ftree Graph Hardware List Magis Op Op_cost Outcome Pofo Search Simulator Transformer Xla

@@ -1,0 +1,1 @@
+examples/llm_on_small_gpu.mli:

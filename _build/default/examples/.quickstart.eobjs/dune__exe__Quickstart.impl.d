@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fission Fmt Ftree Graph Hardware List Magis Op Op_cost Search Simulator Unet Util

@@ -1,0 +1,1 @@
+examples/unet_memory.ml: Array Char Fmt Ftree Graph Hardware Lifetime List Magis Op_cost Search Simulator Zoo

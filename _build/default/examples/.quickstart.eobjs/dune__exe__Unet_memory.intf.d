@@ -1,0 +1,1 @@
+examples/unet_memory.mli:

@@ -1,0 +1,1 @@
+lib/baselines/chain.ml: Graph Hashtbl List Magis_cost Magis_ir Magis_sched Op Op_cost Shape Util

@@ -1,0 +1,1 @@
+lib/baselines/chain.mli: Graph Magis_cost Magis_ir Op_cost Util

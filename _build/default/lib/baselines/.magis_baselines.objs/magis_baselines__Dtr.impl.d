@@ -1,0 +1,1 @@
+lib/baselines/dtr.ml: Array Graph Hashtbl Lifetime List Magis_cost Magis_ir Magis_sched Op_cost Outcome Simulator Util

@@ -1,0 +1,1 @@
+lib/baselines/fusion_compiler.ml: Array Float Graph Hardware Magis_cost Magis_ir Op Op_cost Outcome Shape Simulator Util

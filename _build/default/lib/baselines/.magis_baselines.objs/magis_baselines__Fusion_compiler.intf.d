@@ -1,0 +1,1 @@
+lib/baselines/fusion_compiler.mli: Graph Magis_cost Magis_ir Op Op_cost Outcome

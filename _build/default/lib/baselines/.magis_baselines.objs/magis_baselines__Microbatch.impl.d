@@ -1,0 +1,1 @@
+lib/baselines/microbatch.ml: Graph Magis_cost Magis_ir Op_cost Outcome Pofo Printf Simulator

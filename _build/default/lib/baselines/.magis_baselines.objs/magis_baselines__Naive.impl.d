@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Graph Magis_cost Magis_ir Op_cost Outcome Simulator

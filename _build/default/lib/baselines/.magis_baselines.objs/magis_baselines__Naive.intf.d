@@ -1,0 +1,1 @@
+lib/baselines/naive.mli: Graph Magis_cost Magis_ir Op_cost Outcome

@@ -1,0 +1,1 @@
+lib/baselines/pofo.ml: Array Chain Float Graph Hardware Magis_cost Magis_ir Op_cost Outcome Simulator

@@ -1,0 +1,1 @@
+lib/baselines/pofo.mli: Graph Magis_cost Magis_ir Op_cost Outcome

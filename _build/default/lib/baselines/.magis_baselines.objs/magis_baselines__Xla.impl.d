@@ -1,0 +1,1 @@
+lib/baselines/xla.ml: Chain Graph List Magis_cost Magis_ir Op_cost Outcome Simulator Util

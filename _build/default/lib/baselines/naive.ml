@@ -1,0 +1,16 @@
+(** The unoptimized PyTorch baseline of §7.1: the graph is executed in
+    simple topological order with basic memory saving (tensors are freed
+    as soon as their last consumer has run — exactly what the lifetime
+    analysis models). *)
+
+open Magis_ir
+open Magis_cost
+
+let run (cache : Op_cost.t) (g : Graph.t) : Outcome.t =
+  let res = Simulator.run cache g (Graph.program_order g) in
+  {
+    Outcome.system = "PyTorch";
+    peak_mem = res.peak_mem;
+    latency = res.latency;
+    feasible = true;
+  }

@@ -1,0 +1,7 @@
+(** The unoptimized PyTorch baseline (§7.1): simple topological order with
+    basic memory saving (free-when-dead). *)
+
+open Magis_ir
+open Magis_cost
+
+val run : Op_cost.t -> Graph.t -> Outcome.t

@@ -1,0 +1,1 @@
+lib/codegen/export.ml: Array Buffer Float Graph Hashtbl List Magis_cost Magis_ir Op Option Printf Shape String Util

@@ -1,0 +1,1 @@
+lib/codegen/export.mli: Graph Magis_cost Magis_ir Util

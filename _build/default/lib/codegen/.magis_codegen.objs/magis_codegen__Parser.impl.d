@@ -1,0 +1,1 @@
+lib/codegen/parser.ml: Array Fun Graph Hashtbl List Magis_ir Op Option Printf Scanf Shape String

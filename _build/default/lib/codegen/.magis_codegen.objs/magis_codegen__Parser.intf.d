@@ -1,0 +1,1 @@
+lib/codegen/parser.mli: Graph Hashtbl Magis_ir

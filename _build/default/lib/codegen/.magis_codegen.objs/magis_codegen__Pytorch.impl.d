@@ -1,0 +1,1 @@
+lib/codegen/pytorch.ml: Array Buffer Graph Hashtbl List Magis_ftree Magis_ir Op Printf Shape String

@@ -1,0 +1,1 @@
+lib/codegen/pytorch.mli: Graph Magis_ftree Magis_ir

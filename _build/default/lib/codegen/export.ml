@@ -1,0 +1,151 @@
+(** Graph exporters: Graphviz dot (for inspection) and a line-based
+    tensor-program text format (stable, diffable, round-trip parsable —
+    used by tests and for persisting optimized graphs). *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+(* ------------------------------------------------------------------ *)
+(* Graphviz                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Render to dot.  [highlight] nodes are filled (e.g. memory hot-spots
+    or a fission region). *)
+let to_dot ?(highlight = Int_set.empty) ?(name = "magis") (g : Graph.t) :
+    string =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "digraph %s {" name;
+  line "  rankdir=TB; node [shape=box, fontsize=10];";
+  Graph.iter
+    (fun n ->
+      let fill =
+        if Int_set.mem n.id highlight then ", style=filled, fillcolor=lightsalmon"
+        else if Op.is_input n.op then ", style=filled, fillcolor=lightgray"
+        else if Op.is_swap n.op then ", style=filled, fillcolor=lightblue"
+        else ""
+      in
+      line "  n%d [label=\"%d: %s\\n%s\"%s];" n.id n.id (Op.name n.op)
+        (Shape.to_string n.shape) fill)
+    g;
+  Graph.iter
+    (fun n ->
+      Array.iteri
+        (fun slot u -> line "  n%d -> n%d [label=\"%d\", fontsize=8];" u n.id slot)
+        n.inputs)
+    g;
+  line "}";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Text program format                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** One line per node, in topological order:
+    [%<id> = <op-name> [<dtype>[d0,d1,...]] (<input ids>) "label"]. *)
+let to_text (g : Graph.t) : string =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun v ->
+      let n = Graph.node g v in
+      Buffer.add_string buf
+        (Printf.sprintf "%%%d = %s %s (%s) %S\n" n.id (Op.name n.op)
+           (Shape.to_string n.shape)
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int n.inputs)))
+           n.label))
+    (Graph.topo_order g);
+  Buffer.contents buf
+
+(** Schedule as a one-line comment plus the program text. *)
+let to_text_with_schedule (g : Graph.t) ~(schedule : int list) : string =
+  Printf.sprintf "# schedule: %s\n%s"
+    (String.concat " " (List.map string_of_int schedule))
+    (to_text g)
+
+(** Summary statistics block, for reports. *)
+let summary (g : Graph.t) : string =
+  let ops = Hashtbl.create 16 in
+  Graph.iter
+    (fun n ->
+      let key = Op.name n.op in
+      Hashtbl.replace ops key (1 + Option.value ~default:0 (Hashtbl.find_opt ops key)))
+    g;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ops []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  String.concat "\n"
+    (Printf.sprintf "nodes: %d, weights: %d bytes" (Graph.n_nodes g)
+       (Graph.weight_bytes g)
+    :: List.map (fun (k, v) -> Printf.sprintf "  %4d x %s" v k) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Export a simulated execution as a Chrome trace (load in
+    chrome://tracing or Perfetto): one lane for the compute stream, one
+    for the copy stream, and a counter track with the live device
+    memory. *)
+let to_chrome_trace (cache : Magis_cost.Op_cost.t) (g : Graph.t)
+    ~(schedule : int list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        Buffer.add_string buf s)
+      fmt
+  in
+  let finish = Hashtbl.create 64 in
+  let ready v =
+    List.fold_left
+      (fun acc p -> match Hashtbl.find_opt finish p with
+         | Some t -> Float.max acc t | None -> acc)
+      0.0 (Graph.pre g v)
+  in
+  let t_compute = ref 0.0 and t_copy = ref 0.0 in
+  let us t = t *. 1e6 in
+  List.iter
+    (fun v ->
+      let n = Graph.node g v in
+      match n.op with
+      | Op.Input _ -> Hashtbl.replace finish v 0.0
+      | Op.Store | Op.Load ->
+          let dur = Magis_cost.Op_cost.swap_time cache (Shape.size_bytes n.shape) in
+          let start = Float.max !t_copy (ready v) in
+          t_copy := start +. dur;
+          Hashtbl.replace finish v !t_copy;
+          event
+            {|  {"name": %S, "ph": "X", "ts": %.1f, "dur": %.1f, "pid": 1, "tid": 2}|}
+            (Printf.sprintf "%d:%s" v (Op.name n.op))
+            (us start) (us dur)
+      | _ ->
+          let dur = Magis_cost.Op_cost.node_cost cache g v in
+          let start = Float.max !t_compute (ready v) in
+          t_compute := start +. dur;
+          Hashtbl.replace finish v !t_compute;
+          event
+            {|  {"name": %S, "ph": "X", "ts": %.1f, "dur": %.1f, "pid": 1, "tid": 1}|}
+            (Printf.sprintf "%d:%s" v (Op.name n.op))
+            (us start) (us dur))
+    schedule;
+  (* memory counter sampled at each node's finish time *)
+  let analysis = Magis_cost.Lifetime.analyze g schedule in
+  let timeline = Magis_cost.Lifetime.timeline analysis in
+  List.iteri
+    (fun i v ->
+      match Hashtbl.find_opt finish v with
+      | Some t when i < Array.length timeline ->
+          event
+            {|  {"name": "device memory", "ph": "C", "ts": %.1f, "pid": 1, "args": {"MB": %.1f}}|}
+            (us t)
+            (float_of_int timeline.(i) /. 1e6)
+      | _ -> ())
+    schedule;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

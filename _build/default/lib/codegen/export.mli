@@ -1,0 +1,23 @@
+(** Graph exporters: Graphviz dot, a stable line-based text program format
+    (round-trip parsable by {!Parser}), and Chrome traces of simulated
+    executions. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+(** Graphviz rendering; [highlight] nodes are filled. *)
+val to_dot : ?highlight:Int_set.t -> ?name:string -> Graph.t -> string
+
+(** One line per node in topological order:
+    [%<id> = <op> <dtype>[dims] (<inputs>) "label"]. *)
+val to_text : Graph.t -> string
+
+val to_text_with_schedule : Graph.t -> schedule:int list -> string
+
+(** Node counts by operator, for reports. *)
+val summary : Graph.t -> string
+
+(** Chrome trace (chrome://tracing / Perfetto): compute lane, copy lane
+    and a live-device-memory counter. *)
+val to_chrome_trace :
+  Magis_cost.Op_cost.t -> Graph.t -> schedule:int list -> string

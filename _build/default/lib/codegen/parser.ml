@@ -1,0 +1,287 @@
+(** Parser for the text tensor-program format produced by
+    {!Export.to_text} / {!Export.to_text_with_schedule}: the persistence
+    layer for optimized graphs (round-trip property: parse ∘ print = id up
+    to node renumbering).
+
+    Grammar, one node per line:
+    [%<id> = <op-name> <dtype>[d0,d1,...] (<comma-separated input ids>) "label"]
+    with an optional leading [# schedule: i j k ...] comment. *)
+
+open Magis_ir
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_dtype = function
+  | "f32" -> Ok Shape.F32
+  | "tf32" -> Ok Shape.TF32
+  | "bf16" -> Ok Shape.BF16
+  | "f16" -> Ok Shape.F16
+  | "i64" -> Ok Shape.I64
+  | "i32" -> Ok Shape.I32
+  | "bool" -> Ok Shape.Bool
+  | other -> fail "unknown dtype %s" other
+
+(** Parse ["tf32[2,3,4]"]. *)
+let parse_shape (s : string) : (Shape.t, string) result =
+  match String.index_opt s '[' with
+  | None -> fail "malformed shape %s" s
+  | Some i ->
+      let dt = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 2) in
+      (match parse_dtype dt with
+      | Error e -> Error e
+      | Ok dtype -> (
+          try
+            Ok
+              (Shape.create ~dtype
+                 (List.map int_of_string (String.split_on_char ',' rest)))
+          with _ -> fail "malformed dims in %s" s))
+
+let int_list_of s =
+  match String.trim s with
+  | "" -> []
+  | t -> List.map (fun x -> int_of_string (String.trim x)) (String.split_on_char ',' t)
+
+(** Inverse of {!Op.name} for the operator vocabulary the exporter
+    produces.  Attribute-bearing names are parsed back structurally. *)
+let parse_op (name : string) (shape : Shape.t) : (Op.kind, string) result =
+  let starts p = String.length name >= String.length p
+                 && String.sub name 0 (String.length p) = p in
+  let args_of prefix =
+    (* "op(1,2,3)" -> [1;2;3] *)
+    let inner =
+      String.sub name (String.length prefix + 1)
+        (String.length name - String.length prefix - 2)
+    in
+    int_list_of inner
+  in
+  match name with
+  | "placeholder" -> Ok (Op.Input Op.Placeholder)
+  | "weight" -> Ok (Op.Input Op.Weight)
+  | "label" -> Ok (Op.Input Op.Label)
+  | "matmul" -> Ok (Op.Matmul { trans_a = false; trans_b = false })
+  | "matmul_ta" -> Ok (Op.Matmul { trans_a = true; trans_b = false })
+  | "matmul_tb" -> Ok (Op.Matmul { trans_a = false; trans_b = true })
+  | "matmul_ta_tb" -> Ok (Op.Matmul { trans_a = true; trans_b = true })
+  | "dense" -> Ok (Op.Dense { trans_w = false })
+  | "dense_tw" -> Ok (Op.Dense { trans_w = true })
+  | "dense_bwd_weight" -> Ok Op.Dense_bwd_weight
+  | "bmm" -> Ok (Op.Batch_matmul { trans_a = false; trans_b = false })
+  | "bmm_ta" -> Ok (Op.Batch_matmul { trans_a = true; trans_b = false })
+  | "bmm_tb" -> Ok (Op.Batch_matmul { trans_a = false; trans_b = true })
+  | "bmm_ta_tb" -> Ok (Op.Batch_matmul { trans_a = true; trans_b = true })
+  | "relu" -> Ok (Op.Unary Op.Relu)
+  | "gelu" -> Ok (Op.Unary Op.Gelu)
+  | "tanh" -> Ok (Op.Unary Op.Tanh)
+  | "sigmoid" -> Ok (Op.Unary Op.Sigmoid)
+  | "exp" -> Ok (Op.Unary Op.Exp)
+  | "sqrt" -> Ok (Op.Unary Op.Sqrt)
+  | "neg" -> Ok (Op.Unary Op.Neg)
+  | "identity" -> Ok (Op.Unary Op.Identity)
+  | "dropout" -> Ok (Op.Unary Op.Dropout)
+  | "add" -> Ok (Op.Binary Op.Add)
+  | "sub" -> Ok (Op.Binary Op.Sub)
+  | "mul" -> Ok (Op.Binary Op.Mul)
+  | "div" -> Ok (Op.Binary Op.Div)
+  | "max" -> Ok (Op.Binary Op.Max)
+  | "batch_norm" -> Ok Op.Batch_norm
+  | "embedding" -> Ok Op.Embedding
+  | "embedding_bwd" -> Ok Op.Embedding_bwd
+  | "store" -> Ok Op.Store
+  | "load" -> Ok Op.Load
+  | _ when starts "scale(" ->
+      let inner = String.sub name 6 (String.length name - 7) in
+      (try Ok (Op.Unary (Op.Scale (float_of_string inner)))
+       with _ -> fail "bad scale %s" name)
+  | _ when starts "conv2d(" -> (
+      match
+        String.sub name 7 (String.length name - 8) |> String.split_on_char ','
+      with
+      | [ s; p ] ->
+          Ok
+            (Op.Conv2d
+               { stride = int_of_string (String.sub s 1 (String.length s - 1));
+                 padding = int_of_string (String.sub p 1 (String.length p - 1)) })
+      | _ -> fail "bad conv attrs %s" name)
+  | _ when starts "conv2d_bwd_data(" -> (
+      match
+        String.sub name 16 (String.length name - 17) |> String.split_on_char ','
+      with
+      | [ s; p ] ->
+          Ok
+            (Op.Conv2d_bwd_data
+               { stride = int_of_string (String.sub s 1 (String.length s - 1));
+                 padding = int_of_string (String.sub p 1 (String.length p - 1)) })
+      | _ -> fail "bad conv attrs %s" name)
+  | _ when starts "conv2d_bwd_weight(" -> (
+      match
+        String.sub name 18 (String.length name - 19) |> String.split_on_char ','
+      with
+      | [ s; p ] ->
+          Ok
+            (Op.Conv2d_bwd_weight
+               { stride = int_of_string (String.sub s 1 (String.length s - 1));
+                 padding = int_of_string (String.sub p 1 (String.length p - 1)) })
+      | _ -> fail "bad conv attrs %s" name)
+  | _ when starts "maxpool2d(" || starts "avgpool2d(" -> (
+      let kind = if starts "maxpool2d(" then Op.P_max else Op.P_avg in
+      match
+        String.sub name 10 (String.length name - 11) |> String.split_on_char ','
+      with
+      | [ k; s ] ->
+          Ok
+            (Op.Pool2d
+               { p_kind = kind;
+                 kernel = int_of_string (String.sub k 1 (String.length k - 1));
+                 p_stride = int_of_string (String.sub s 1 (String.length s - 1)) })
+      | _ -> fail "bad pool attrs %s" name)
+  | _ when starts "pool2d_bwd(" -> (
+      match
+        String.sub name 11 (String.length name - 12) |> String.split_on_char ','
+      with
+      | [ k; s ] ->
+          Ok
+            (Op.Pool2d_bwd
+               { p_kind = Op.P_max;
+                 kernel = int_of_string (String.sub k 1 (String.length k - 1));
+                 p_stride = int_of_string (String.sub s 1 (String.length s - 1)) })
+      | _ -> fail "bad pool attrs %s" name)
+  | _ when starts "bias_add(" ->
+      Ok (Op.Bias_add (List.hd (args_of "bias_add")))
+  | _ when starts "softmax_bwd(" ->
+      Ok (Op.Softmax_bwd (List.hd (args_of "softmax_bwd")))
+  | _ when starts "softmax(" -> Ok (Op.Softmax (List.hd (args_of "softmax")))
+  | _ when starts "layer_norm_bwd(" ->
+      Ok (Op.Layer_norm_bwd (List.hd (args_of "layer_norm_bwd")))
+  | _ when starts "layer_norm(" ->
+      Ok (Op.Layer_norm (List.hd (args_of "layer_norm")))
+  | _ when starts "reduce_sum(" ->
+      Ok (Op.Reduce (Op.R_sum, args_of "reduce_sum"))
+  | _ when starts "reduce_mean(" ->
+      Ok (Op.Reduce (Op.R_mean, args_of "reduce_mean"))
+  | _ when starts "reduce_max(" ->
+      Ok (Op.Reduce (Op.R_max, args_of "reduce_max"))
+  | _ when starts "broadcast(" ->
+      Ok (Op.Broadcast { dims = Shape.dims shape; axes = args_of "broadcast" })
+  | _ when starts "transpose(" ->
+      Ok (Op.Transpose (Array.of_list (args_of "transpose")))
+  | _ when starts "reshape(" ->
+      Ok (Op.Reshape (Array.of_list (args_of "reshape")))
+  | _ when starts "slice(" -> (
+      (* slice(axis,lo:hi) *)
+      let inner = String.sub name 6 (String.length name - 7) in
+      match String.split_on_char ',' inner with
+      | [ a; range ] -> (
+          match String.split_on_char ':' range with
+          | [ lo; hi ] ->
+              Ok
+                (Op.Slice
+                   { axis = int_of_string a; lo = int_of_string lo;
+                     hi = int_of_string hi })
+          | _ -> fail "bad slice range %s" name)
+      | _ -> fail "bad slice %s" name)
+  | _ when starts "concat(" -> Ok (Op.Concat (List.hd (args_of "concat")))
+  | other -> fail "unknown operator %s" other
+
+type program = {
+  graph : Graph.t;
+  id_map : (int, int) Hashtbl.t;  (** original id -> new id *)
+  schedule : int list option;  (** remapped, when the header was present *)
+}
+
+(** Parse a program; node ids are remapped to fresh ids (insertion
+    order follows the file, which {!Export.to_text} writes topologically). *)
+let parse (text : string) : (program, string) result =
+  let id_map = Hashtbl.create 64 in
+  let graph = ref Graph.empty in
+  let schedule = ref None in
+  let exception Fail of string in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun lineno line ->
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line > 12 && String.sub line 0 12 = "# schedule: "
+           then
+             schedule :=
+               Some
+                 (String.sub line 12 (String.length line - 12)
+                 |> String.split_on_char ' '
+                 |> List.filter (( <> ) "")
+                 |> List.map int_of_string)
+           else if line.[0] = '#' then ()
+           else
+             (* %id = op shape (inputs) "label" *)
+             match String.index_opt line '=' with
+             | None -> raise (Fail (Printf.sprintf "line %d: no '='" lineno))
+             | Some eq ->
+                 let id =
+                   int_of_string
+                     (String.trim (String.sub line 1 (eq - 1)))
+                 in
+                 let rest = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+                 (* split: op-name, shape, (inputs), "label" *)
+                 let lparen = String.rindex rest '(' in
+                 let rparen = String.index_from rest lparen ')' in
+                 let head = String.trim (String.sub rest 0 lparen) in
+                 let inputs_s = String.sub rest (lparen + 1) (rparen - lparen - 1) in
+                 let label_part = String.trim (String.sub rest (rparen + 1) (String.length rest - rparen - 1)) in
+                 let label =
+                   if String.length label_part >= 2 then
+                     Scanf.sscanf label_part "%S" Fun.id
+                   else ""
+                 in
+                 let op_name, shape_s =
+                   match String.rindex_opt head ' ' with
+                   | Some sp ->
+                       ( String.sub head 0 sp,
+                         String.sub head (sp + 1) (String.length head - sp - 1) )
+                   | None -> raise (Fail (Printf.sprintf "line %d: no shape" lineno))
+                 in
+                 let shape =
+                   match parse_shape shape_s with
+                   | Ok s -> s
+                   | Error e -> raise (Fail (Printf.sprintf "line %d: %s" lineno e))
+                 in
+                 let op =
+                   match parse_op op_name shape with
+                   | Ok o -> o
+                   | Error e -> raise (Fail (Printf.sprintf "line %d: %s" lineno e))
+                 in
+                 let inputs =
+                   List.map
+                     (fun old ->
+                       match Hashtbl.find_opt id_map old with
+                       | Some v -> v
+                       | None ->
+                           raise
+                             (Fail
+                                (Printf.sprintf "line %d: unknown input %%%d"
+                                   lineno old)))
+                     (int_list_of inputs_s)
+                 in
+                 let g', new_id =
+                   match op with
+                   | Op.Input kind -> Graph.add_input ~label !graph kind shape
+                   | _ -> Graph.add ~label !graph op inputs
+                 in
+                 if not (Shape.equal_dims (Graph.shape g' new_id) shape) then
+                   raise
+                     (Fail
+                        (Printf.sprintf
+                           "line %d: inferred shape %s disagrees with %s"
+                           lineno
+                           (Shape.to_string (Graph.shape g' new_id))
+                           (Shape.to_string shape)));
+                 graph := g';
+                 Hashtbl.replace id_map id new_id);
+    let schedule =
+      Option.map
+        (List.filter_map (fun old -> Hashtbl.find_opt id_map old))
+        !schedule
+    in
+    Ok { graph = !graph; id_map; schedule }
+  with
+  | Fail msg -> Error msg
+  | Failure msg -> Error msg
+  | Scanf.Scan_failure msg -> Error msg

@@ -1,0 +1,12 @@
+(** Parser for the text tensor-program format of {!Export.to_text}:
+    round-trip property [parse (to_text g) ≡ g] up to node renumbering. *)
+
+open Magis_ir
+
+type program = {
+  graph : Graph.t;
+  id_map : (int, int) Hashtbl.t;  (** original id -> new id *)
+  schedule : int list option;  (** remapped, when the header was present *)
+}
+
+val parse : string -> (program, string) result

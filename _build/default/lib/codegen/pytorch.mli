@@ -1,0 +1,21 @@
+(** PyTorch code generation (§7.1): a self-contained Python module whose
+    [run(inputs)] executes the operators in schedule order, frees tensors
+    after their last consumer, and implements Store/Load with the CUDA
+    Stream API (asynchronous swapping). *)
+
+open Magis_ir
+
+(** Python expression computing one node from its operand variables
+    (exposed for tests; raises on Store/Load, which the emitter handles). *)
+val expr_of : Graph.t -> Graph.node -> string
+
+val emit : ?module_doc:string -> Graph.t -> schedule:int list -> string
+
+(** Emit with every enabled fission of the tree materialized first; the
+    caller provides the scheduler for the expanded graph. *)
+val emit_expanded :
+  ?module_doc:string ->
+  Graph.t ->
+  Magis_ftree.Ftree.t ->
+  reschedule:(Graph.t -> int list) ->
+  string

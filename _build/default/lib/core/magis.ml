@@ -1,0 +1,71 @@
+(** MAGIS: memory optimization for DNN computation graphs via coordinated
+    graph transformation and scheduling (Chen et al., ASPLOS 2024).
+
+    This module is the public facade; the sub-libraries remain directly
+    usable.  A typical session:
+
+    {[
+      let cache = Magis.Op_cost.create Magis.Hardware.default in
+      let graph = Magis.Zoo.(find "UNet").build Magis.Zoo.Quick in
+      let result = Magis.Search.optimize_memory cache ~overhead:0.10 graph in
+      Fmt.pr "%a@." Magis.Mstate.pp result.best
+    ]} *)
+
+(* IR substrate *)
+module Shape = Magis_ir.Shape
+module Op = Magis_ir.Op
+module Graph = Magis_ir.Graph
+module Dominator = Magis_ir.Dominator
+module Wl_hash = Magis_ir.Wl_hash
+module Util = Magis_ir.Util
+
+(* cost model and simulator *)
+module Hardware = Magis_cost.Hardware
+module Op_cost = Magis_cost.Op_cost
+module Lifetime = Magis_cost.Lifetime
+module Simulator = Magis_cost.Simulator
+module Allocator = Magis_cost.Allocator
+
+(* dimension graph and fission *)
+module Dgraph = Magis_dgraph.Dgraph
+module Fission = Magis_ftree.Fission
+module Ftree = Magis_ftree.Ftree
+module Spatial = Magis_ftree.Spatial
+
+(* transformation rules *)
+module Rule = Magis_rules.Rule
+module Sched_rules = Magis_rules.Sched_rules
+module Taso_rules = Magis_rules.Taso_rules
+
+(* scheduling *)
+module Partition = Magis_sched.Partition
+module Reorder = Magis_sched.Reorder
+module Incremental = Magis_sched.Incremental
+
+(* optimizer *)
+module Mstate = Magis_opt.Mstate
+module Search = Magis_opt.Search
+
+(* model zoo *)
+module Builder = Magis_models.Builder
+module Autodiff = Magis_models.Autodiff
+module Resnet = Magis_models.Resnet
+module Transformer = Magis_models.Transformer
+module Unet = Magis_models.Unet
+module Randnet = Magis_models.Randnet
+module Zoo = Magis_models.Zoo
+
+(* baselines *)
+module Outcome = Magis_baselines.Outcome
+module Chain = Magis_baselines.Chain
+module Naive = Magis_baselines.Naive
+module Fusion_compiler = Magis_baselines.Fusion_compiler
+module Pofo = Magis_baselines.Pofo
+module Xla = Magis_baselines.Xla
+module Dtr = Magis_baselines.Dtr
+module Microbatch = Magis_baselines.Microbatch
+
+(* code generation and export *)
+module Pytorch_codegen = Magis_codegen.Pytorch
+module Export = Magis_codegen.Export
+module Program_parser = Magis_codegen.Parser

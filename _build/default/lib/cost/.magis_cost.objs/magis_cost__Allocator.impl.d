@@ -1,0 +1,1 @@
+lib/cost/allocator.ml: Array Graph Lifetime List Magis_ir

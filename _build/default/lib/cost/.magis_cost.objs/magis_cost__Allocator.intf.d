@@ -1,0 +1,1 @@
+lib/cost/allocator.mli: Graph Lifetime Magis_ir

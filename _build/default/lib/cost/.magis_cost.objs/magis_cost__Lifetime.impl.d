@@ -1,0 +1,1 @@
+lib/cost/lifetime.ml: Array Graph Hashtbl List Magis_ir Op Shape Util

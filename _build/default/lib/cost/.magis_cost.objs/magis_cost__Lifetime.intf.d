@@ -1,0 +1,1 @@
+lib/cost/lifetime.mli: Graph Hashtbl Magis_ir Util

@@ -1,0 +1,1 @@
+lib/cost/op_cost.mli: Graph Hardware Hashtbl Magis_ir Op Shape

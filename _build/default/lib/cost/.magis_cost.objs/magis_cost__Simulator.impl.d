@@ -1,0 +1,1 @@
+lib/cost/simulator.ml: Graph Hashtbl Lifetime List Magis_ir Op Op_cost Shape

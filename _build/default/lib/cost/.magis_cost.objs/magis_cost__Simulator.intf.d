@@ -1,0 +1,1 @@
+lib/cost/simulator.mli: Graph Lifetime Magis_ir Op_cost

@@ -1,0 +1,52 @@
+(** Device model.
+
+    The paper profiles real kernels on an RTX 3090 and caches their
+    latencies (§6.2).  We replace the profile-filled cache with an analytic
+    model with the same qualitative behaviour:
+
+    - an additive roofline: [t = launch_overhead + flops/peak + bytes/bw].
+      Splitting an operator into [n] parts multiplies the launch overhead
+      and re-reads shared operands, so fission costs latency — exactly the
+      "lower hardware utilization" the paper describes;
+    - a separate host↔device link ([swap_bandwidth]) used by Store/Load on
+      an asynchronous copy stream. *)
+
+type t = {
+  name : string;
+  peak_flops : float;  (** attainable FLOP/s of the compute units *)
+  mem_bandwidth : float;  (** device memory bytes/s *)
+  swap_bandwidth : float;  (** host<->device bytes/s (PCIe) *)
+  launch_overhead : float;  (** seconds per kernel launch *)
+  device_memory : int;  (** device memory capacity, bytes *)
+}
+
+(** Roughly an RTX 3090 running TF32/BF16 kernels. *)
+let rtx3090 =
+  {
+    name = "rtx3090";
+    peak_flops = 35.6e12;
+    mem_bandwidth = 936.0e9;
+    swap_bandwidth = 16.0e9;
+    launch_overhead = 6.0e-6;
+    device_memory = 24_000_000_000;
+  }
+
+(** A mobile-class device (Snapdragon-like): useful for edge experiments. *)
+let mobile =
+  {
+    name = "mobile";
+    peak_flops = 1.2e12;
+    mem_bandwidth = 51.2e9;
+    swap_bandwidth = 3.0e9;
+    launch_overhead = 20.0e-6;
+    device_memory = 6_000_000_000;
+  }
+
+let default = rtx3090
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%.1f TFLOPs, %.0f GB/s mem, %.0f GB/s swap, %d GB)" t.name
+    (t.peak_flops /. 1e12)
+    (t.mem_bandwidth /. 1e9)
+    (t.swap_bandwidth /. 1e9)
+    (t.device_memory / 1_000_000_000)

@@ -1,0 +1,23 @@
+(** Device model: an additive roofline
+    ([t = launch + flops/peak + bytes/bw]) plus a separate host<->device
+    link used by the asynchronous copy stream.  Splitting an operator
+    multiplies launches and re-reads shared operands — the fission
+    latency tax. *)
+
+type t = {
+  name : string;
+  peak_flops : float;  (** attainable FLOP/s *)
+  mem_bandwidth : float;  (** device memory bytes/s *)
+  swap_bandwidth : float;  (** host<->device bytes/s (PCIe) *)
+  launch_overhead : float;  (** seconds per kernel launch *)
+  device_memory : int;  (** device memory capacity, bytes *)
+}
+
+(** Roughly an RTX 3090 running TF32/BF16 kernels (the paper's testbed). *)
+val rtx3090 : t
+
+(** A phone-class device, for the edge-deployment experiments. *)
+val mobile : t
+
+val default : t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Tensor lifetime analysis (§2.1): per-schedule liveness, peak memory
+    and memory hot-spots.
+
+    Conventions: weights are pinned for the whole run; graph outputs
+    (losses, gradients) stay live until the end; [size_of] can override
+    device sizes (fission accounting, Store outputs). *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+type t = private {
+  order : int array;
+  pos : (int, int) Hashtbl.t;
+  birth : int array;  (** per position: step the output appears *)
+  free : int array;  (** per position: last step the output is live *)
+  mem : int array;  (** per step: active bytes *)
+  peak : int;
+  hotspots : Int_set.t;  (** node ids live at some peak step *)
+  sizes : int array;  (** device bytes per position *)
+}
+
+(** Device size of a node's output (0 for Store: host-side). *)
+val default_size : Graph.t -> int -> int
+
+val analyze : ?size_of:(int -> int) -> Graph.t -> int list -> t
+val peak_memory : t -> int
+val hotspots : t -> Int_set.t
+
+(** Memory-vs-step curve (bytes live after each operator executes). *)
+val timeline : t -> int array
+
+(** Position of a node in the analyzed schedule. *)
+val position : t -> int -> int option
+
+(** Total size of hot-spot tensors. *)
+val hotspot_bytes : t -> int
+
+(** Live interval [(birth, free)] of the node at schedule position [i]. *)
+val interval : t -> int -> int * int

@@ -1,0 +1,63 @@
+(** Analytic operator latency with a memoizing cache.
+
+    [cost] plays the role of the paper's operator performance cache: the
+    first query for an (operator, shapes) key computes the latency from the
+    hardware model; later queries hit the cache.  The cache hit/miss
+    counters feed the Fig. 15 time-breakdown experiment. *)
+
+open Magis_ir
+
+type t = {
+  hw : Hardware.t;
+  cache : (int64, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create hw = { hw; cache = Hashtbl.create 1024; hits = 0; misses = 0 }
+
+let key (op : Op.kind) (ins : Shape.t array) =
+  let h = Op.fingerprint op in
+  Array.fold_left (fun h s -> Util.hash_combine h (Shape.hash s)) h ins
+
+(** Latency (seconds) of one execution of the operator on the device
+    compute stream.  Store/Load cost nothing here: they run on the copy
+    stream (see {!Simulator}). *)
+let compute_raw (hw : Hardware.t) (op : Op.kind) (ins : Shape.t array)
+    (out : Shape.t) : float =
+  match op with
+  | Op.Input _ | Op.Store | Op.Load -> 0.0
+  | _ ->
+      let fl = Op.flops op ins out in
+      let by = Op.bytes_moved op ins out in
+      hw.launch_overhead +. (fl /. hw.peak_flops) +. (by /. hw.mem_bandwidth)
+
+let cost t (op : Op.kind) (ins : Shape.t array) (out : Shape.t) : float =
+  let k = key op ins in
+  match Hashtbl.find_opt t.cache k with
+  | Some c ->
+      t.hits <- t.hits + 1;
+      c
+  | None ->
+      t.misses <- t.misses + 1;
+      let c = compute_raw t.hw op ins out in
+      Hashtbl.add t.cache k c;
+      c
+
+(** Latency of a node of graph [g]. *)
+let node_cost t (g : Graph.t) (id : int) : float =
+  let n = Graph.node g id in
+  let ins = Array.map (fun i -> Graph.shape g i) n.inputs in
+  cost t n.op ins n.shape
+
+(** Time to move a tensor of [bytes] over the host<->device link. *)
+let swap_time t (bytes : int) : float =
+  float_of_int bytes /. t.hw.swap_bandwidth
+
+(** Sum of node costs — the graph latency lower bound (§2.1:
+    [cost(G) ≈ Σ cost(v)]). *)
+let graph_cost t (g : Graph.t) : float =
+  Graph.fold (fun n acc -> acc +. node_cost t g n.id) g 0.0
+
+let stats t = (t.hits, t.misses)
+let reset_stats t = t.hits <- 0; t.misses <- 0

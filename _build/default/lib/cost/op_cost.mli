@@ -1,0 +1,28 @@
+(** Analytic operator latency with a memoizing cache — the role of the
+    paper's operator performance cache (§6.2). *)
+
+open Magis_ir
+
+type t = {
+  hw : Hardware.t;
+  cache : (int64, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : Hardware.t -> t
+
+(** Latency (seconds) of one execution on the compute stream; Store/Load
+    cost nothing here (they run on the copy stream). *)
+val cost : t -> Op.kind -> Shape.t array -> Shape.t -> float
+
+val node_cost : t -> Graph.t -> int -> float
+
+(** Host<->device transfer time for [bytes]. *)
+val swap_time : t -> int -> float
+
+(** Sum of node costs ([cost(G) ≈ Σ cost(v)], §2.1). *)
+val graph_cost : t -> Graph.t -> float
+
+val stats : t -> int * int
+val reset_stats : t -> unit

@@ -1,0 +1,71 @@
+(** Schedule simulator.
+
+    Executes a schedule on a two-stream device model: ordinary operators
+    run sequentially on the *compute* stream; Store/Load run on the *copy*
+    stream and overlap with compute, synchronizing only through data
+    dependencies.  This reproduces the paper's asynchronous-swapping
+    implementation ("place the Store as early as possible and the Load as
+    late as the data transfer latency can be just hidden", §6.2): a Load
+    scheduled well before its consumer hides its transfer entirely; a Load
+    scheduled too late stalls the compute stream by the remaining transfer
+    time.
+
+    Latency and peak memory can be reshaped by the fission layer through
+    the optional [cost_of] and [size_of] hooks. *)
+
+open Magis_ir
+
+type result = {
+  latency : float;  (** seconds for one iteration of the schedule *)
+  peak_mem : int;  (** peak device bytes *)
+  compute_busy : float;  (** compute-stream busy time *)
+  copy_busy : float;  (** copy-stream busy time *)
+  analysis : Lifetime.t;
+}
+
+let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
+    (order : int list) : result =
+  let cost_of =
+    match cost_of with
+    | Some f -> f
+    | None -> fun id -> Op_cost.node_cost cache g id
+  in
+  let finish = Hashtbl.create (Graph.n_nodes g) in
+  let ready v =
+    List.fold_left
+      (fun acc p ->
+        match Hashtbl.find_opt finish p with
+        | Some t -> max acc t
+        | None -> acc)
+      0.0 (Graph.pre g v)
+  in
+  let t_compute = ref 0.0 and t_copy = ref 0.0 in
+  let compute_busy = ref 0.0 and copy_busy = ref 0.0 in
+  List.iter
+    (fun v ->
+      let n = Graph.node g v in
+      match n.op with
+      | Op.Store | Op.Load ->
+          let bytes = Shape.size_bytes n.shape in
+          let dur = Op_cost.swap_time cache bytes in
+          let start = max !t_copy (ready v) in
+          t_copy := start +. dur;
+          copy_busy := !copy_busy +. dur;
+          Hashtbl.replace finish v !t_copy
+      | Op.Input _ -> Hashtbl.replace finish v 0.0
+      | _ ->
+          let dur = cost_of v in
+          let start = max !t_compute (ready v) in
+          t_compute := start +. dur;
+          compute_busy := !compute_busy +. dur;
+          Hashtbl.replace finish v !t_compute)
+    order;
+  let latency = max !t_compute !t_copy in
+  let analysis = Lifetime.analyze ?size_of g order in
+  {
+    latency;
+    peak_mem = Lifetime.peak_memory analysis;
+    compute_busy = !compute_busy;
+    copy_busy = !copy_busy;
+    analysis;
+  }

@@ -1,0 +1,22 @@
+(** Schedule simulator: a two-stream device model (compute + copy) in
+    which Store/Load overlap with computation, synchronizing only through
+    data dependencies — the paper's asynchronous swapping.  [cost_of] and
+    [size_of] let the fission layer reshape costs and sizes. *)
+
+open Magis_ir
+
+type result = {
+  latency : float;  (** seconds per iteration of the schedule *)
+  peak_mem : int;  (** peak device bytes *)
+  compute_busy : float;  (** compute-stream busy time *)
+  copy_busy : float;  (** copy-stream busy time *)
+  analysis : Lifetime.t;
+}
+
+val run :
+  ?size_of:(int -> int) ->
+  ?cost_of:(int -> float) ->
+  Op_cost.t ->
+  Graph.t ->
+  int list ->
+  result

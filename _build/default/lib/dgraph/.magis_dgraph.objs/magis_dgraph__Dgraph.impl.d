@@ -1,0 +1,1 @@
+lib/dgraph/dgraph.ml: Array Fmt Graph List Magis_ir Map Op Set Shape Util

@@ -1,0 +1,1 @@
+lib/dgraph/dgraph.mli: Format Graph Magis_ir Map Set Util

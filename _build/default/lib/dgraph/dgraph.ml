@@ -1,0 +1,150 @@
+(** Dimension graphs (D-Graphs, §4.1 of the paper).
+
+    For a computation graph [G], the D-Graph [D(G)] has a node [⟨v,i⟩] for
+    every operator [v] and every dimension of its output tensor
+    ([i = 1 … s_v], 1-based) as well as every reduce axis of its
+    computation ([i = -1 … -r_v]).  There is an edge [⟨u,i⟩ → ⟨v,j⟩]
+    whenever the [i]-th dimension of [u]'s output and the [j]-th dimension
+    (or [-j]-th reduce axis) of [v] correspond to the same spatial axis.
+
+    Connected components of the D-Graph identify graph-level dimensions
+    (batch, heads, sequence, …) along which a sub-graph can be split by the
+    fission transformation. *)
+
+open Magis_ir
+module Int_map = Util.Int_map
+
+type dnode = { node : int; dim : int }
+(** [dim > 0]: output dimension [dim] (1-based).
+    [dim < 0]: reduce axis [-dim] (1-based). *)
+
+let compare_dnode a b =
+  match compare a.node b.node with 0 -> compare a.dim b.dim | c -> c
+
+module Dnode_set = Set.Make (struct
+  type t = dnode
+
+  let compare = compare_dnode
+end)
+
+module Dnode_map = Map.Make (struct
+  type t = dnode
+
+  let compare = compare_dnode
+end)
+
+type t = {
+  nodes : Dnode_set.t;
+  adj : Dnode_set.t Dnode_map.t;  (** undirected adjacency *)
+}
+
+let pp_dnode ppf d =
+  if d.dim > 0 then Fmt.pf ppf "<%d,%d>" d.node d.dim
+  else Fmt.pf ppf "<%d,-%d>" d.node (-d.dim)
+
+let in_shapes g (n : Graph.node) =
+  Array.map (fun i -> Graph.shape g i) n.inputs
+
+(** All D-nodes of one graph node. *)
+let dnodes_of (g : Graph.t) (v : int) : dnode list =
+  let n = Graph.node g v in
+  let s = Shape.rank n.shape in
+  let r = Op.reduce_arity n.op (in_shapes g n) in
+  List.init s (fun i -> { node = v; dim = i + 1 })
+  @ List.init r (fun i -> { node = v; dim = -(i + 1) })
+
+let add_edge adj a b =
+  let get k m =
+    match Dnode_map.find_opt k m with Some s -> s | None -> Dnode_set.empty
+  in
+  let adj = Dnode_map.add a (Dnode_set.add b (get a adj)) adj in
+  Dnode_map.add b (Dnode_set.add a (get b adj)) adj
+
+let build (g : Graph.t) : t =
+  let nodes =
+    Graph.fold
+      (fun n acc ->
+        List.fold_left (fun s d -> Dnode_set.add d s) acc (dnodes_of g n.id))
+      g Dnode_set.empty
+  in
+  let adj =
+    Graph.fold
+      (fun n adj ->
+        let ins = in_shapes g n in
+        let links = Op.links n.op ins n.shape in
+        List.fold_left
+          (fun adj (slot, in_dim, link) ->
+            let u = n.inputs.(slot) in
+            let src = { node = u; dim = in_dim + 1 } in
+            let dst =
+              match link with
+              | Op.To_out j -> { node = n.id; dim = j + 1 }
+              | Op.To_reduce j -> { node = n.id; dim = -(j + 1) }
+            in
+            add_edge adj src dst)
+          adj links)
+      g Dnode_map.empty
+  in
+  { nodes; adj }
+
+let neighbors t d =
+  match Dnode_map.find_opt d t.adj with
+  | Some s -> s
+  | None -> Dnode_set.empty
+
+(** Connected components with at least two distinct graph nodes (singleton
+    dimension components cannot drive a fission).  Deterministic order. *)
+let components (t : t) : Dnode_set.t list =
+  let visited = ref Dnode_set.empty in
+  let comps = ref [] in
+  Dnode_set.iter
+    (fun seed ->
+      if not (Dnode_set.mem seed !visited) then begin
+        let rec bfs acc frontier =
+          match frontier with
+          | [] -> acc
+          | d :: rest ->
+              let next =
+                Dnode_set.filter
+                  (fun x -> not (Dnode_set.mem x acc))
+                  (neighbors t d)
+              in
+              bfs (Dnode_set.union acc next) (Dnode_set.elements next @ rest)
+        in
+        let comp = bfs (Dnode_set.singleton seed) [ seed ] in
+        visited := Dnode_set.union !visited comp;
+        let distinct_nodes =
+          Dnode_set.fold
+            (fun d acc -> Util.Int_set.add d.node acc)
+            comp Util.Int_set.empty
+        in
+        if Util.Int_set.cardinal distinct_nodes >= 2 then
+          comps := comp :: !comps
+      end)
+    t.nodes;
+  List.rev !comps
+
+(** Graph nodes touched by a component. *)
+let graph_nodes_of_component (comp : Dnode_set.t) : Util.Int_set.t =
+  Dnode_set.fold
+    (fun d acc -> Util.Int_set.add d.node acc)
+    comp Util.Int_set.empty
+
+(** Restrict a component to a node subset [s]; gives the dimension
+    assignment used by a fission candidate.  Returns [None] if some node of
+    [s] covered by the component has *more than one* D-node in it (the
+    paper's constraint (3): exactly one ⟨v,i⟩ per v — e.g. a softmax whose
+    normalized axis couples two dims of one node) — such sub-graphs cannot
+    split along this dimension. *)
+let restrict (comp : Dnode_set.t) (s : Util.Int_set.t) :
+    int Int_map.t option =
+  let exception Conflict in
+  try
+    Some
+      (Dnode_set.fold
+         (fun d acc ->
+           if not (Util.Int_set.mem d.node s) then acc
+           else if Int_map.mem d.node acc then raise Conflict
+           else Int_map.add d.node d.dim acc)
+         comp Int_map.empty)
+  with Conflict -> None

@@ -1,0 +1,37 @@
+(** Dimension graphs (D-Graphs, §4.1): one node [⟨v,i⟩] per output
+    dimension ([i = 1…s_v]) and reduce axis ([i = -1…-r_v]) of every
+    operator, with edges between dimensions that share a spatial axis.
+    Connected components identify the graph-level dimensions (batch,
+    heads, sequence, …) a fission can split along. *)
+
+open Magis_ir
+module Int_map = Util.Int_map
+
+type dnode = { node : int; dim : int }
+(** [dim > 0]: output dimension (1-based); [dim < 0]: reduce axis. *)
+
+val compare_dnode : dnode -> dnode -> int
+
+module Dnode_set : Set.S with type elt = dnode
+module Dnode_map : Map.S with type key = dnode
+
+type t
+
+val pp_dnode : Format.formatter -> dnode -> unit
+
+(** All D-nodes of one graph node. *)
+val dnodes_of : Graph.t -> int -> dnode list
+
+val build : Graph.t -> t
+val neighbors : t -> dnode -> Dnode_set.t
+
+(** Connected components spanning at least two graph nodes, in
+    deterministic order. *)
+val components : t -> Dnode_set.t list
+
+val graph_nodes_of_component : Dnode_set.t -> Util.Int_set.t
+
+(** Restrict a component to a node subset: the per-node dimension
+    assignment of a fission candidate; [None] when some node has more
+    than one D-node in the component (constraint (3) of §4.2). *)
+val restrict : Dnode_set.t -> Util.Int_set.t -> int Int_map.t option

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Float Fun Graph Hashtbl List Magis_ir Op Printf Random Shape

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Graph Hashtbl Magis_ir Shape

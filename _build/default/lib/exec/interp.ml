@@ -1,0 +1,575 @@
+(** Reference interpreter: execute computation graphs on real float
+    arrays.
+
+    This is the semantic ground truth of the repository: every graph
+    transformation (fission expansion, spatial/halo fission, swap and
+    re-materialization rewrites, TASO substitutions) is *numerically*
+    checked against it — an optimized graph must compute the same values
+    as the original.
+
+    All arithmetic is float (dtype is treated as a sizing concern).
+    Backward surrogate operators (see {!Magis_models.Autodiff}) get
+    simple deterministic semantics: equivalence testing needs consistency
+    between the original and the transformed graph, not analytic
+    correctness of gradients. *)
+
+open Magis_ir
+
+type tensor = { shape : Shape.t; data : float array }
+
+let numel t = Array.length t.data
+
+let create shape = { shape; data = Array.make (Shape.numel shape) 0.0 }
+
+let of_fn shape f =
+  { shape; data = Array.init (Shape.numel shape) f }
+
+(** Deterministic pseudo-random fill (for test inputs). *)
+let random ?(seed = 7) shape =
+  let st = Random.State.make [| seed; Shape.numel shape |] in
+  of_fn shape (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+(** Integer-valued fill in [0, bound) for index tensors. *)
+let indices ?(seed = 11) ~bound shape =
+  let st = Random.State.make [| seed; bound |] in
+  of_fn shape (fun _ -> float_of_int (Random.State.int st bound))
+
+(* ------------------------------------------------------------------ *)
+(* Index arithmetic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let strides_of shape =
+  let r = Shape.rank shape in
+  let s = Array.make r 1 in
+  for i = r - 2 downto 0 do
+    s.(i) <- s.(i + 1) * Shape.dim shape (i + 1)
+  done;
+  s
+
+let offset strides idx =
+  Array.fold_left ( + ) 0 (Array.mapi (fun i x -> strides.(i) * x) idx)
+
+(** Iterate over every multi-index of [shape]. *)
+let iter_indices shape f =
+  let r = Shape.rank shape in
+  let idx = Array.make r 0 in
+  let n = Shape.numel shape in
+  for _ = 1 to n do
+    f idx;
+    (* increment *)
+    let rec bump i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) = Shape.dim shape i then begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (r - 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let unary_fn : Op.unary_kind -> float -> float = function
+  | Op.Relu -> fun x -> Float.max 0.0 x
+  | Op.Gelu ->
+      fun x -> 0.5 *. x *. (1.0 +. Float.tanh (0.79788456 *. (x +. (0.044715 *. x *. x *. x))))
+  | Op.Tanh -> Float.tanh
+  | Op.Sigmoid -> fun x -> 1.0 /. (1.0 +. Float.exp (-.x))
+  | Op.Exp -> Float.exp
+  | Op.Sqrt -> fun x -> Float.sqrt (Float.abs x)
+  | Op.Neg -> fun x -> -.x
+  | Op.Identity -> Fun.id
+  | Op.Dropout -> Fun.id (* deterministic: the identity *)
+  | Op.Scale f -> fun x -> f *. x
+
+let binary_fn : Op.binary_kind -> float -> float -> float = function
+  | Op.Add -> ( +. )
+  | Op.Sub -> ( -. )
+  | Op.Mul -> ( *. )
+  | Op.Div -> fun a b -> a /. (if Float.abs b < 1e-9 then 1e-9 else b)
+  | Op.Max -> Float.max
+
+let matmul2 a b ~m ~k ~n ~ta ~tb =
+  let out = Array.make (m * n) 0.0 in
+  let ai i j = if ta then (j * m) + i else (i * k) + j in
+  let bi i j = if tb then (j * k) + i else (i * n) + j in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (a.(ai i l) *. b.(bi l j))
+      done;
+      out.((i * n) + j) <- !acc
+    done
+  done;
+  out
+
+let eval_node (_g : Graph.t) (n : Graph.node) (ins : tensor array) : tensor =
+  let out_shape = n.shape in
+  let out () = create out_shape in
+  let x = if Array.length ins > 0 then ins.(0) else { shape = out_shape; data = [||] } in
+  match n.op with
+  | Op.Input _ -> invalid_arg "Interp.eval_node: inputs come from the env"
+  | Op.Unary k ->
+      let f = unary_fn k in
+      { shape = out_shape; data = Array.map f x.data }
+  | Op.Binary k ->
+      let f = binary_fn k in
+      { shape = out_shape; data = Array.map2 f ins.(0).data ins.(1).data }
+  | Op.Bias_add axis ->
+      let t = out () in
+      let strides = strides_of out_shape in
+      iter_indices out_shape (fun idx ->
+          let o = offset strides idx in
+          t.data.(o) <- x.data.(o) +. ins.(1).data.(idx.(axis)));
+      t
+  | Op.Matmul { trans_a; trans_b } ->
+      let m = Shape.dim out_shape 0 and nn = Shape.dim out_shape 1 in
+      let k =
+        if trans_a then Shape.dim ins.(0).shape 0 else Shape.dim ins.(0).shape 1
+      in
+      { shape = out_shape;
+        data = matmul2 ins.(0).data ins.(1).data ~m ~k ~n:nn ~ta:trans_a ~tb:trans_b }
+  | Op.Dense { trans_w } ->
+      let r = Shape.rank ins.(0).shape in
+      let k = Shape.dim ins.(0).shape (r - 1) in
+      let nn = Shape.dim out_shape (Shape.rank out_shape - 1) in
+      let m = Shape.numel ins.(0).shape / k in
+      { shape = out_shape;
+        data = matmul2 ins.(0).data ins.(1).data ~m ~k ~n:nn ~ta:false ~tb:trans_w }
+  | Op.Dense_bwd_weight ->
+      (* dw[k,n] = sum_batch x^T dy *)
+      let rx = Shape.rank ins.(0).shape in
+      let k = Shape.dim ins.(0).shape (rx - 1) in
+      let nn = Shape.dim ins.(1).shape (Shape.rank ins.(1).shape - 1) in
+      let m = Shape.numel ins.(0).shape / k in
+      (* (x^T dy): transpose the [m,k] view of x *)
+      { shape = out_shape;
+        data = matmul2 ins.(0).data ins.(1).data ~m:k ~k:m ~n:nn ~ta:true ~tb:false }
+  | Op.Batch_matmul { trans_a; trans_b } ->
+      let r = Shape.rank out_shape in
+      let m = Shape.dim out_shape (r - 2) and nn = Shape.dim out_shape (r - 1) in
+      let ka =
+        if trans_a then Shape.dim ins.(0).shape (r - 2)
+        else Shape.dim ins.(0).shape (r - 1)
+      in
+      let batches = Shape.numel out_shape / (m * nn) in
+      let t = out () in
+      let a_sz = m * ka and b_sz = ka * nn and o_sz = m * nn in
+      for b = 0 to batches - 1 do
+        let slab =
+          matmul2
+            (Array.sub ins.(0).data (b * a_sz) a_sz)
+            (Array.sub ins.(1).data (b * b_sz) b_sz)
+            ~m ~k:ka ~n:nn ~ta:trans_a ~tb:trans_b
+        in
+        Array.blit slab 0 t.data (b * o_sz) o_sz
+      done;
+      t
+  | Op.Conv2d { stride; padding } ->
+      let t = out () in
+      let xn = ins.(0) and w = ins.(1) in
+      let c = Shape.dim xn.shape 1 and h = Shape.dim xn.shape 2
+      and wd = Shape.dim xn.shape 3 in
+      let kk = Shape.dim w.shape 0 and r = Shape.dim w.shape 2
+      and s = Shape.dim w.shape 3 in
+      let oh = Shape.dim out_shape 2 and ow = Shape.dim out_shape 3 in
+      let xi nb ci hi wi = (((((nb * c) + ci) * h) + hi) * wd) + wi in
+      let wi ko ci ri si = (((((ko * c) + ci) * r) + ri) * s) + si in
+      let oi nb ko hi wi_ = (((((nb * kk) + ko) * oh) + hi) * ow) + wi_ in
+      for nb = 0 to Shape.dim out_shape 0 - 1 do
+        for ko = 0 to kk - 1 do
+          for ho = 0 to oh - 1 do
+            for wo = 0 to ow - 1 do
+              let acc = ref 0.0 in
+              for ci = 0 to c - 1 do
+                for ri = 0 to r - 1 do
+                  for si = 0 to s - 1 do
+                    let hi = (ho * stride) - padding + ri in
+                    let wj = (wo * stride) - padding + si in
+                    if hi >= 0 && hi < h && wj >= 0 && wj < wd then
+                      acc := !acc +. (ins.(0).data.(xi nb ci hi wj) *. w.data.(wi ko ci ri si))
+                  done
+                done
+              done;
+              t.data.(oi nb ko ho wo) <- !acc
+            done
+          done
+        done
+      done;
+      t
+  | Op.Conv2d_bwd_data { stride; padding } ->
+      (* dx[n,c,h,w] = sum_{k,r,s} dy[n,k,h',w'] w[k,c,r,s]
+         with h = h'*stride - padding' + r.  The 2-operand (deconv) form
+         uses padding' = padding; the 3-operand data-gradient uses the
+         same relation (the shape carrier fixes the extents). *)
+      let t = out () in
+      let dy = ins.(0) and w = ins.(1) in
+      let kk = Shape.dim w.shape 0 and c = Shape.dim w.shape 1
+      and r = Shape.dim w.shape 2 and s = Shape.dim w.shape 3 in
+      let oh = Shape.dim dy.shape 2 and ow = Shape.dim dy.shape 3 in
+      let h = Shape.dim out_shape 2 and wd = Shape.dim out_shape 3 in
+      let dyi nb ko hi wi_ = (((((nb * kk) + ko) * oh) + hi) * ow) + wi_ in
+      let wi ko ci ri si = (((((ko * c) + ci) * r) + ri) * s) + si in
+      let xi nb ci hi wi_ = (((((nb * c) + ci) * h) + hi) * wd) + wi_ in
+      for nb = 0 to Shape.dim out_shape 0 - 1 do
+        for ko = 0 to kk - 1 do
+          for ho = 0 to oh - 1 do
+            for wo = 0 to ow - 1 do
+              let v = dy.data.(dyi nb ko ho wo) in
+              for ci = 0 to c - 1 do
+                for ri = 0 to r - 1 do
+                  for si = 0 to s - 1 do
+                    let hi = (ho * stride) - padding + ri in
+                    let wj = (wo * stride) - padding + si in
+                    if hi >= 0 && hi < h && wj >= 0 && wj < wd then
+                      t.data.(xi nb ci hi wj) <-
+                        t.data.(xi nb ci hi wj) +. (v *. w.data.(wi ko ci ri si))
+                  done
+                done
+              done
+            done
+          done
+        done
+      done;
+      t
+  | Op.Conv2d_bwd_weight { stride; padding } ->
+      (* dw[k,c,r,s] = sum_{n,h',w'} dy[n,k,h',w'] x[n,c,h,w] *)
+      let t = out () in
+      let dy = ins.(0) and xx = ins.(1) in
+      let kk = Shape.dim out_shape 0 and c = Shape.dim out_shape 1
+      and r = Shape.dim out_shape 2 and s = Shape.dim out_shape 3 in
+      let oh = Shape.dim dy.shape 2 and ow = Shape.dim dy.shape 3 in
+      let h = Shape.dim xx.shape 2 and wd = Shape.dim xx.shape 3 in
+      let dyi nb ko hi wi_ = (((((nb * kk) + ko) * oh) + hi) * ow) + wi_ in
+      let xi nb ci hi wi_ = (((((nb * c) + ci) * h) + hi) * wd) + wi_ in
+      let wi ko ci ri si = (((((ko * c) + ci) * r) + ri) * s) + si in
+      for nb = 0 to Shape.dim dy.shape 0 - 1 do
+        for ko = 0 to kk - 1 do
+          for ho = 0 to oh - 1 do
+            for wo = 0 to ow - 1 do
+              let v = dy.data.(dyi nb ko ho wo) in
+              for ci = 0 to c - 1 do
+                for ri = 0 to r - 1 do
+                  for si = 0 to s - 1 do
+                    let hi = (ho * stride) - padding + ri in
+                    let wj = (wo * stride) - padding + si in
+                    if hi >= 0 && hi < h && wj >= 0 && wj < wd then
+                      t.data.(wi ko ci ri si) <-
+                        t.data.(wi ko ci ri si) +. (v *. xx.data.(xi nb ci hi wj))
+                  done
+                done
+              done
+            done
+          done
+        done
+      done;
+      t
+  | Op.Pool2d { p_kind; kernel; p_stride } ->
+      let t = out () in
+      let c = Shape.dim x.shape 1 and h = Shape.dim x.shape 2
+      and wd = Shape.dim x.shape 3 in
+      let oh = Shape.dim out_shape 2 and ow = Shape.dim out_shape 3 in
+      let xi nb ci hi wi_ = (((((nb * c) + ci) * h) + hi) * wd) + wi_ in
+      let oi nb ci hi wi_ = (((((nb * c) + ci) * oh) + hi) * ow) + wi_ in
+      for nb = 0 to Shape.dim out_shape 0 - 1 do
+        for ci = 0 to c - 1 do
+          for ho = 0 to oh - 1 do
+            for wo = 0 to ow - 1 do
+              let acc = ref (match p_kind with Op.P_max -> Float.neg_infinity | Op.P_avg -> 0.0) in
+              for ri = 0 to kernel - 1 do
+                for si = 0 to kernel - 1 do
+                  let hi = (ho * p_stride) + ri and wj = (wo * p_stride) + si in
+                  if hi < h && wj < wd then
+                    let v = x.data.(xi nb ci hi wj) in
+                    acc := (match p_kind with
+                            | Op.P_max -> Float.max !acc v
+                            | Op.P_avg -> !acc +. v)
+                done
+              done;
+              t.data.(oi nb ci ho wo) <-
+                (match p_kind with
+                | Op.P_max -> !acc
+                | Op.P_avg -> !acc /. float_of_int (kernel * kernel))
+            done
+          done
+        done
+      done;
+      t
+  | Op.Pool2d_bwd { p_stride; _ } ->
+      (* surrogate: nearest-neighbour upsample of dy to x's extents *)
+      let t = out () in
+      let dy = ins.(0) in
+      let c = Shape.dim out_shape 1 and h = Shape.dim out_shape 2
+      and wd = Shape.dim out_shape 3 in
+      let oh = Shape.dim dy.shape 2 and ow = Shape.dim dy.shape 3 in
+      let dyi nb ci hi wi_ = (((((nb * c) + ci) * oh) + hi) * ow) + wi_ in
+      let xi nb ci hi wi_ = (((((nb * c) + ci) * h) + hi) * wd) + wi_ in
+      for nb = 0 to Shape.dim out_shape 0 - 1 do
+        for ci = 0 to c - 1 do
+          for hi = 0 to h - 1 do
+            for wj = 0 to wd - 1 do
+              let ho = min (oh - 1) (hi / p_stride) in
+              let wo = min (ow - 1) (wj / p_stride) in
+              t.data.(xi nb ci hi wj) <- dy.data.(dyi nb ci ho wo)
+            done
+          done
+        done
+      done;
+      t
+  | Op.Softmax axis ->
+      let t = out () in
+      let strides = strides_of out_shape in
+      let extent = Shape.dim out_shape axis in
+      iter_indices out_shape (fun idx ->
+          if idx.(axis) = 0 then begin
+            (* one row at a time *)
+            let base = offset strides idx in
+            let step = strides.(axis) in
+            let mx = ref Float.neg_infinity in
+            for i = 0 to extent - 1 do
+              mx := Float.max !mx x.data.(base + (i * step))
+            done;
+            let sum = ref 0.0 in
+            for i = 0 to extent - 1 do
+              let e = Float.exp (x.data.(base + (i * step)) -. !mx) in
+              t.data.(base + (i * step)) <- e;
+              sum := !sum +. e
+            done;
+            for i = 0 to extent - 1 do
+              t.data.(base + (i * step)) <- t.data.(base + (i * step)) /. !sum
+            done
+          end);
+      t
+  | Op.Softmax_bwd axis ->
+      (* dx = y * (dy - sum(dy * y)) along the axis *)
+      let dy = ins.(0) and y = ins.(1) in
+      let t = out () in
+      let strides = strides_of out_shape in
+      let extent = Shape.dim out_shape axis in
+      iter_indices out_shape (fun idx ->
+          if idx.(axis) = 0 then begin
+            let base = offset strides idx in
+            let step = strides.(axis) in
+            let dot = ref 0.0 in
+            for i = 0 to extent - 1 do
+              dot := !dot +. (dy.data.(base + (i * step)) *. y.data.(base + (i * step)))
+            done;
+            for i = 0 to extent - 1 do
+              let o = base + (i * step) in
+              t.data.(o) <- y.data.(o) *. (dy.data.(o) -. !dot)
+            done
+          end);
+      t
+  | Op.Layer_norm axis ->
+      let t = out () in
+      let inner = Shape.numel out_shape
+                  / (let p = ref 1 in
+                     for i = axis to Shape.rank out_shape - 1 do
+                       p := !p * Shape.dim out_shape i
+                     done;
+                     Shape.numel out_shape / !p)
+      in
+      let rows = Shape.numel out_shape / inner in
+      let gamma = ins.(1).data and beta = ins.(2).data in
+      for row = 0 to rows - 1 do
+        let base = row * inner in
+        let mean = ref 0.0 in
+        for i = 0 to inner - 1 do mean := !mean +. x.data.(base + i) done;
+        let mean = !mean /. float_of_int inner in
+        let var = ref 0.0 in
+        for i = 0 to inner - 1 do
+          let d = x.data.(base + i) -. mean in
+          var := !var +. (d *. d)
+        done;
+        let inv = 1.0 /. Float.sqrt ((!var /. float_of_int inner) +. 1e-5) in
+        for i = 0 to inner - 1 do
+          t.data.(base + i) <-
+            ((x.data.(base + i) -. mean) *. inv *. gamma.(i mod Array.length gamma))
+            +. beta.(i mod Array.length beta)
+        done
+      done;
+      t
+  | Op.Layer_norm_bwd _ ->
+      (* surrogate: dy scaled by gamma (broadcast over the last dims) *)
+      let dy = ins.(0) and gamma = ins.(2) in
+      let gl = numel gamma in
+      { shape = out_shape;
+        data = Array.mapi (fun i d -> d *. gamma.data.(i mod gl)) dy.data }
+  | Op.Batch_norm ->
+      (* frozen affine: x * gamma[c] + beta[c] *)
+      let t = out () in
+      let c = Shape.dim out_shape 1 in
+      let hw = Shape.dim out_shape 2 * Shape.dim out_shape 3 in
+      Array.iteri
+        (fun i v ->
+          let ci = i / hw mod c in
+          t.data.(i) <- (v *. ins.(1).data.(ci)) +. ins.(2).data.(ci))
+        x.data;
+      t
+  | Op.Reduce (k, axes) ->
+      let t = out () in
+      let strides = strides_of x.shape in
+      let out_strides = strides_of out_shape in
+      (match k with
+      | Op.R_max -> Array.fill t.data 0 (Array.length t.data) Float.neg_infinity
+      | _ -> ());
+      iter_indices x.shape (fun idx ->
+          let o_idx =
+            Array.of_list
+              (List.filteri
+                 (fun i _ -> not (List.mem i axes))
+                 (Array.to_list idx))
+          in
+          let o_idx = if Array.length o_idx = 0 then [| 0 |] else o_idx in
+          let o = offset out_strides o_idx in
+          let v = x.data.(offset strides idx) in
+          match k with
+          | Op.R_sum | Op.R_mean -> t.data.(o) <- t.data.(o) +. v
+          | Op.R_max -> t.data.(o) <- Float.max t.data.(o) v);
+      (match k with
+      | Op.R_mean ->
+          let count =
+            List.fold_left (fun acc a -> acc * Shape.dim x.shape a) 1 axes
+          in
+          Array.iteri (fun i v -> t.data.(i) <- v /. float_of_int count) t.data
+      | _ -> ());
+      t
+  | Op.Broadcast { axes; _ } ->
+      let t = out () in
+      let in_strides = strides_of x.shape in
+      let out_strides = strides_of out_shape in
+      iter_indices out_shape (fun idx ->
+          let i_idx =
+            Array.of_list
+              (List.filteri
+                 (fun i _ -> not (List.mem i axes))
+                 (Array.to_list idx))
+          in
+          t.data.(offset out_strides idx) <- x.data.(offset in_strides i_idx));
+      t
+  | Op.Transpose perm ->
+      let t = out () in
+      let in_strides = strides_of x.shape in
+      let out_strides = strides_of out_shape in
+      iter_indices out_shape (fun idx ->
+          (* out dim j reads in dim perm.(j): in_idx.(perm.(j)) = idx.(j) *)
+          let real = Array.make (Shape.rank x.shape) 0 in
+          Array.iteri (fun j p -> real.(p) <- idx.(j)) perm;
+          t.data.(offset out_strides idx) <- x.data.(offset in_strides real));
+      t
+  | Op.Reshape _ -> { shape = out_shape; data = Array.copy x.data }
+  | Op.Slice { axis; lo; hi = _ } ->
+      let t = out () in
+      let in_strides = strides_of x.shape in
+      let out_strides = strides_of out_shape in
+      iter_indices out_shape (fun idx ->
+          let i_idx = Array.copy idx in
+          i_idx.(axis) <- i_idx.(axis) + lo;
+          t.data.(offset out_strides idx) <- x.data.(offset in_strides i_idx));
+      t
+  | Op.Concat axis ->
+      let t = out () in
+      let out_strides = strides_of out_shape in
+      let base = ref 0 in
+      Array.iter
+        (fun (inp : tensor) ->
+          let in_strides = strides_of inp.shape in
+          iter_indices inp.shape (fun idx ->
+              let o_idx = Array.copy idx in
+              o_idx.(axis) <- o_idx.(axis) + !base;
+              t.data.(offset out_strides o_idx) <-
+                inp.data.(offset in_strides idx));
+          base := !base + Shape.dim inp.shape axis)
+        ins;
+      t
+  | Op.Embedding ->
+      let table = ins.(0) and ids = ins.(1) in
+      let c = Shape.dim table.shape 1 in
+      let v = Shape.dim table.shape 0 in
+      let t = out () in
+      Array.iteri
+        (fun i id ->
+          let row = ((int_of_float id mod v) + v) mod v in
+          Array.blit table.data (row * c) t.data (i * c) c)
+        ids.data;
+      t
+  | Op.Embedding_bwd ->
+      let dy = ins.(0) and ids = ins.(1) in
+      let t = out () in
+      let c = Shape.dim out_shape 1 in
+      let v = Shape.dim out_shape 0 in
+      Array.iteri
+        (fun i id ->
+          let row = ((int_of_float id mod v) + v) mod v in
+          for j = 0 to c - 1 do
+            t.data.((row * c) + j) <- t.data.((row * c) + j) +. dy.data.((i * c) + j)
+          done)
+        ids.data;
+      t
+  | Op.Store | Op.Load -> { shape = out_shape; data = Array.copy x.data }
+
+(* ------------------------------------------------------------------ *)
+(* Graph execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate [g]: inputs come from [env] (node id -> tensor).  Returns all
+    node values. *)
+let run (g : Graph.t) ~(env : int -> tensor) : (int, tensor) Hashtbl.t =
+  let values = Hashtbl.create (Graph.n_nodes g) in
+  List.iter
+    (fun v ->
+      let n = Graph.node g v in
+      let t =
+        if Op.is_input n.op then env v
+        else
+          let ins = Array.map (fun u -> Hashtbl.find values u) n.inputs in
+          eval_node g n ins
+      in
+      if not (Shape.equal_dims t.shape n.shape) then
+        invalid_arg
+          (Printf.sprintf "Interp.run: node %d (%s) produced %s, expected %s"
+             v (Op.name n.op)
+             (Shape.to_string t.shape)
+             (Shape.to_string n.shape));
+      Hashtbl.replace values v t)
+    (Graph.topo_order g);
+  values
+
+(** Deterministic inputs for a graph: random floats, valid indices for
+    I64 tensors (embedding ids). *)
+let default_env (g : Graph.t) : int -> tensor =
+  let memo = Hashtbl.create 16 in
+  fun v ->
+    match Hashtbl.find_opt memo v with
+    | Some t -> t
+    | None ->
+        let n = Graph.node g v in
+        let t =
+          if Shape.dtype n.shape = Shape.I64 then
+            (* ids: bound by the consumer's table if any, else 8 *)
+            let bound =
+              List.fold_left
+                (fun acc c ->
+                  match (Graph.node g c).op with
+                  | Op.Embedding -> Shape.dim (Graph.shape g (Graph.node g c).inputs.(0)) 0
+                  | _ -> acc)
+                8 (Graph.suc g v)
+            in
+            indices ~seed:(17 + v) ~bound n.shape
+          else random ~seed:(23 + v) n.shape
+        in
+        Hashtbl.replace memo v t;
+        t
+
+(** Maximum absolute difference between two tensors. *)
+let max_diff a b =
+  if not (Shape.equal_dims a.shape b.shape) then infinity
+  else
+    let d = ref 0.0 in
+    Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.data.(i)))) a.data;
+    !d

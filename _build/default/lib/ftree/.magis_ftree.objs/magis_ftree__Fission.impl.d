@@ -1,0 +1,1 @@
+lib/ftree/fission.ml: Array Fmt Graph Hashtbl List Magis_ir Op Printf Shape Util

@@ -1,0 +1,1 @@
+lib/ftree/fission.mli: Format Graph Magis_ir Shape Util

@@ -1,0 +1,1 @@
+lib/ftree/ftree.ml: Array Dgraph Dominator Fission Fmt Graph Hardware Int64 Lifetime List Magis_cost Magis_dgraph Magis_ir Op Op_cost Random Shape Util

@@ -1,0 +1,1 @@
+lib/ftree/ftree.mli: Fission Format Graph Magis_cost Magis_ir Op_cost Util

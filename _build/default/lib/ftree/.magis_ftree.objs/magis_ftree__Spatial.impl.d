@@ -1,0 +1,1 @@
+lib/ftree/spatial.ml: Array Float Fmt Graph Hardware Lifetime List Magis_cost Magis_ir Op Op_cost Option Printf Shape Util

@@ -1,0 +1,1 @@
+lib/ftree/spatial.mli: Format Graph Magis_cost Magis_ir Op_cost

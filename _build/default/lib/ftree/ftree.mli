@@ -1,0 +1,94 @@
+(** Fission Hierarchy Tree (F-Tree, §4.3 / §5.1): the search space of
+    fission transformations.
+
+    Entries are fission candidates nested by member-set inclusion; a
+    candidate with [n = 1] is disabled, [n > 1] means its region is
+    (virtually) split into [n] parts.  Construction follows Algorithm 1;
+    the mutation rules are the paper's Enable / Lift / Disable / Mutate;
+    [accounting] is the virtual-fission cost/memory model the simulator
+    uses during search. *)
+
+open Magis_ir
+open Magis_cost
+module Int_map = Util.Int_map
+module Int_set = Util.Int_set
+
+type entry = {
+  fission : Fission.t;
+  parent : int;  (** index of the parent entry, or [-1] for roots *)
+  children : int list;
+}
+
+type t
+
+val empty : t
+val n_entries : t -> int
+val entry : t -> int -> entry
+val fission_at : t -> int -> Fission.t
+val n_at : t -> int -> int
+val is_enabled : t -> int -> bool
+val enabled_indices : t -> int list
+val has_enabled_ancestor : t -> int -> bool
+val has_enabled_descendant : t -> int -> bool
+val set_n : t -> int -> int -> t
+
+(** Union of enabled member sets: regions that structural rules must not
+    cut across. *)
+val frozen_region : t -> Int_set.t
+
+(** Smallest feasible fission number of a candidate, if any. *)
+val smallest_valid_n : Graph.t -> Fission.t -> int option
+
+(** Algorithm 1: construct candidates from the memory hot-spots of the
+    current schedule.  [max_level] is the paper's [L] (default 4). *)
+val construct : ?max_level:int -> Graph.t -> hotspots:Int_set.t -> t
+
+(** Build a tree from explicit fissions (nesting derived by inclusion). *)
+val of_fissions : Fission.t list -> t
+
+(** Random candidate selection (the Fig. 13 "naïve-fission" ablation). *)
+val construct_naive : ?seed:int -> ?per_component:int -> Graph.t -> t
+
+(** {1 Mutation rules (§5.1, Fig. 7)} *)
+
+type mutation =
+  | Enable of int
+  | Lift of int
+  | Disable of int
+  | Mutate of int
+
+val pp_mutation : Format.formatter -> mutation -> unit
+
+(** Mutations applicable to the current tree. *)
+val mutations : Graph.t -> t -> mutation list
+
+(** Apply a mutation; [None] if not applicable. *)
+val apply : Graph.t -> t -> mutation -> t option
+
+(** {1 Maintenance across graph rewrites} *)
+
+(** Fingerprint of the enabled fissions (combined with the WL graph hash
+    to deduplicate search states). *)
+val fingerprint : t -> int64
+
+(** Drop entries invalidated by a graph rewrite, re-parenting children. *)
+val prune : Graph.t -> t -> t
+
+(** Rebuild candidates for a rewritten graph while preserving surviving
+    enabled fissions. *)
+val refresh : ?max_level:int -> Graph.t -> old_tree:t -> hotspots:Int_set.t -> t
+
+(** {1 Virtual accounting} *)
+
+type accounting = {
+  size_of : int -> int;  (** device bytes of a node's output *)
+  cost_of : int -> float;  (** per-node latency incl. split execution *)
+  extra_latency : float;  (** boundary slice/merge overhead *)
+}
+
+(** Cost/memory model of the enabled fissions: split intermediates
+    shrink, split operators run [n] times at per-part shapes, region
+    boundaries pay slice/merge work. *)
+val accounting : Op_cost.t -> Graph.t -> t -> accounting
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ir/dominator.ml: Array Graph Hashtbl List Op Seq Util

@@ -1,0 +1,1 @@
+lib/ir/dominator.mli: Graph Util

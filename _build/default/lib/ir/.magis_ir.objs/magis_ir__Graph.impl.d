@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Fmt Hashtbl Int List Op Printf Set Shape Util

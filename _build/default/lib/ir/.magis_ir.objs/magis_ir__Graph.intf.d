@@ -1,0 +1,1 @@
+lib/ir/graph.mli: Format Op Shape Util

@@ -1,0 +1,1 @@
+lib/ir/op.ml: Array Fun List Printf Shape String Util

@@ -1,0 +1,1 @@
+lib/ir/shape.ml: Array Fmt Printf Util

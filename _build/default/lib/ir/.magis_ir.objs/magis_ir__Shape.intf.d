@@ -1,0 +1,1 @@
+lib/ir/shape.mli: Format

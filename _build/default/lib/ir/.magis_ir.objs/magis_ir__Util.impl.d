@@ -1,0 +1,1 @@
+lib/ir/util.ml: Char Int Int64 List Map Set String

@@ -1,0 +1,1 @@
+lib/ir/wl_hash.ml: Array Graph Int64 List Op Shape Util

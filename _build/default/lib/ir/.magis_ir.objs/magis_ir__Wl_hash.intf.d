@@ -1,0 +1,1 @@
+lib/ir/wl_hash.mli: Graph Util

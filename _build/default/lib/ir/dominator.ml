@@ -1,0 +1,174 @@
+(** Dominator trees over computation graphs.
+
+    Implements the Cooper–Harvey–Kennedy iterative algorithm.  Because a
+    computation graph has many entry nodes (inputs, weights, labels), we
+    dominate from a *virtual root* that feeds every zero-predecessor node,
+    matching §2.1 of the paper ("the dominator tree we use here usually
+    takes the input tensor as the entry").
+
+    The resulting tree maps each node to its immediate dominator; nodes
+    whose immediate dominator is the virtual root are roots of the forest.
+    [subtree t v] is the paper's [T.des(v)] plus [v] itself. *)
+
+module Int_map = Util.Int_map
+module Int_set = Util.Int_set
+
+type t = {
+  idom : int Int_map.t;  (** immediate dominator; virtual root = -1 *)
+  children : Int_set.t Int_map.t;
+  order : int array;  (** reverse postorder used to build the tree *)
+}
+
+let virtual_root = -1
+
+let idom t v = Int_map.find_opt v t.idom
+
+let children t v =
+  match Int_map.find_opt v t.children with
+  | Some s -> s
+  | None -> Int_set.empty
+
+(** All nodes strictly dominated by [v] ([T.des(v)] in the paper). *)
+let strict_subtree t v =
+  let rec go acc frontier =
+    match frontier with
+    | [] -> acc
+    | u :: rest ->
+        let cs = children t u in
+        let acc = Int_set.union acc cs in
+        go acc (Int_set.elements cs @ rest)
+  in
+  go Int_set.empty [ v ]
+
+(** [subtree t v] = strict_subtree + v. *)
+let subtree t v = Int_set.add v (strict_subtree t v)
+
+(** [dominates t u v] iff [u] dominates [v] (reflexive). *)
+let dominates t u v =
+  let rec climb x = if x = u then true
+    else match Int_map.find_opt x t.idom with
+      | None -> false
+      | Some p -> p <> virtual_root && climb p
+  in
+  u = v || climb v
+
+(** [compute ?members ?entries g] builds the dominator tree of [g], or of
+    the sub-graph induced by [members] when given (edges to/from outside
+    nodes are ignored).
+
+    [entries] selects the roots.  Per §2.1 of the paper, the tree "usually
+    takes the input tensor as the entry": by default we root at the
+    *primary* inputs — placeholders, excluding weights and labels (the
+    gradient seed of a training graph is a label-kind input).  This is
+    what lets a layer's input dominate both its forward remainder and the
+    corresponding backward operators.  Falls back to all zero-predecessor
+    nodes when no primary input exists.  Nodes unreachable from the
+    entries are absent from the tree. *)
+let compute ?members ?entries (g : Graph.t) : t =
+  let keep =
+    match members with
+    | None -> fun _ -> true
+    | Some s -> fun v -> Int_set.mem v s
+  in
+  let pre g v = List.filter keep (Graph.pre g v) in
+  let suc g v = List.filter keep (Graph.suc g v) in
+  let entry_nodes =
+    match entries with
+    | Some e -> List.filter keep e
+    | None -> (
+        let zero_pred =
+          match members with
+          | None -> Graph.inputs g
+          | Some s ->
+              Int_set.elements (Int_set.filter (fun v -> pre g v = []) s)
+        in
+        let primary =
+          List.filter
+            (fun v ->
+              match (Graph.node g v).op with
+              | Op.Input Op.Placeholder -> true
+              | _ -> false)
+            zero_pred
+        in
+        match primary with [] -> zero_pred | _ -> primary)
+  in
+  let visited = Hashtbl.create (Graph.n_nodes g) in
+  let post = ref [] in
+  let rec dfs v =
+    if not (Hashtbl.mem visited v) then begin
+      Hashtbl.replace visited v ();
+      List.iter dfs (suc g v);
+      post := v :: !post
+    end
+  in
+  List.iter dfs entry_nodes;
+  let order = Array.of_list !post in
+  let n = Array.length order in
+  let rpo_index = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace rpo_index v i) order;
+  (* idom as array over rpo indices; -2 = undefined, -1 = virtual root *)
+  let idom = Array.make n (-2) in
+  let intersect a b =
+    (* walk up the tree: smaller rpo index = higher in the order *)
+    let rec go a b =
+      if a = b then a
+      else if a > b then go idom.(a) b
+      else go a idom.(b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  (* Entry-adjacent nodes (graph inputs) get the virtual root directly. *)
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt rpo_index v with
+      | Some i -> idom.(i) <- -1
+      | None -> ())
+    entry_nodes;
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let v = order.(i) in
+      if not (pre g v = []) then begin
+        let preds =
+          List.filter_map (fun p -> Hashtbl.find_opt rpo_index p) (pre g v)
+        in
+        let processed = List.filter (fun p -> idom.(p) <> -2) preds in
+        match processed with
+        | [] -> ()
+        | first :: rest ->
+            let new_idom =
+              List.fold_left
+                (fun acc p -> if acc = -1 || p = -1 then -1 else intersect acc p)
+                first rest
+            in
+            if idom.(i) <> new_idom then begin
+              idom.(i) <- new_idom;
+              changed := true
+            end
+      end
+    done
+  done;
+  let idom_map =
+    Array.to_seq order
+    |> Seq.mapi (fun i v ->
+           (v, if idom.(i) < 0 then virtual_root else order.(idom.(i))))
+    |> Int_map.of_seq
+  in
+  let children =
+    Int_map.fold
+      (fun v p acc ->
+        if p = virtual_root then acc
+        else
+          let s =
+            match Int_map.find_opt p acc with
+            | Some s -> s
+            | None -> Int_set.empty
+          in
+          Int_map.add p (Int_set.add v s) acc)
+      idom_map Int_map.empty
+  in
+  { idom = idom_map; children; order }
+
+(** Nodes in reverse postorder (useful for deterministic traversals). *)
+let rpo t = Array.copy t.order

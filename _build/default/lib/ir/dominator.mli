@@ -1,0 +1,38 @@
+(** Dominator trees over computation graphs (Cooper–Harvey–Kennedy).
+
+    Per §2.1 of the paper, the tree is rooted at the *primary* input
+    tensor(s) by default — placeholders, excluding weights and labels
+    (the gradient seed is a label-kind input) — which is what lets a
+    layer's input dominate both its forward remainder and the
+    corresponding backward operators. *)
+
+module Int_map = Util.Int_map
+module Int_set = Util.Int_set
+
+type t
+
+(** Immediate dominator of the roots. *)
+val virtual_root : int
+
+(** [compute ?members ?entries g] builds the tree of [g], or of the
+    sub-graph induced by [members]; [entries] overrides the root set.
+    Nodes unreachable from the entries are absent from the tree. *)
+val compute : ?members:Int_set.t -> ?entries:int list -> Graph.t -> t
+
+(** Immediate dominator; [Some virtual_root] for roots, [None] for nodes
+    absent from the tree. *)
+val idom : t -> int -> int option
+
+val children : t -> int -> Int_set.t
+
+(** All nodes strictly dominated by [v] (the paper's [T.des(v)]). *)
+val strict_subtree : t -> int -> Int_set.t
+
+(** [strict_subtree] plus the node itself. *)
+val subtree : t -> int -> Int_set.t
+
+(** Reflexive dominance test. *)
+val dominates : t -> int -> int -> bool
+
+(** Nodes in the reverse postorder used to build the tree. *)
+val rpo : t -> int array

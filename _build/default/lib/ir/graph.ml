@@ -1,0 +1,345 @@
+(** Computation graphs.
+
+    A graph is a DAG of operator nodes.  Each node has an ordered array of
+    input node ids (the operand slots) and an inferred output shape.  The
+    representation is persistent (balanced maps), so the optimizer can hold
+    thousands of candidate graphs cheaply — mutations share structure.
+
+    The operations mirror Table 1 of the paper: [pre]/[suc],
+    [anc]/[des], [inps_of]/[outs_of] for node subsets, induced sub-graphs,
+    topological orders, weak connectivity and convexity tests. *)
+
+module Int_map = Util.Int_map
+module Int_set = Util.Int_set
+
+type node = {
+  id : int;
+  op : Op.kind;
+  shape : Shape.t;
+  label : string;  (** human-readable name, for debugging/printing *)
+  inputs : int array;  (** operand slots, in order *)
+}
+
+type t = {
+  nodes : node Int_map.t;
+  succs : Int_set.t Int_map.t;  (** consumers of each node *)
+  next_id : int;
+}
+
+let empty = { nodes = Int_map.empty; succs = Int_map.empty; next_id = 0 }
+
+let n_nodes g = Int_map.cardinal g.nodes
+let mem g id = Int_map.mem id g.nodes
+
+let node g id =
+  match Int_map.find_opt id g.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Graph.node: unknown id %d" id)
+
+let node_opt g id = Int_map.find_opt id g.nodes
+let shape g id = (node g id).shape
+let op g id = (node g id).op
+let size_bytes g id = Shape.size_bytes (node g id).shape
+
+let nodes g = Int_map.fold (fun _ n acc -> n :: acc) g.nodes [] |> List.rev
+let node_ids g = Int_map.fold (fun id _ acc -> id :: acc) g.nodes [] |> List.rev
+let fold f g acc = Int_map.fold (fun _ n acc -> f n acc) g.nodes acc
+let iter f g = Int_map.iter (fun _ n -> f n) g.nodes
+
+let succ_set g id =
+  match Int_map.find_opt id g.succs with Some s -> s | None -> Int_set.empty
+
+let suc g id = Int_set.elements (succ_set g id)
+
+let pre g id =
+  let n = node g id in
+  Array.to_list n.inputs |> List.sort_uniq compare
+
+let in_degree g id = Array.length (node g id).inputs
+let out_degree g id = Int_set.cardinal (succ_set g id)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let add_succ succs src dst =
+  let s =
+    match Int_map.find_opt src succs with
+    | Some s -> s
+    | None -> Int_set.empty
+  in
+  Int_map.add src (Int_set.add dst s) succs
+
+let remove_succ succs src dst =
+  match Int_map.find_opt src succs with
+  | None -> succs
+  | Some s ->
+      let s = Int_set.remove dst s in
+      if Int_set.is_empty s then Int_map.remove src succs
+      else Int_map.add src s succs
+
+(** [add_input g kind shape] adds a graph input (placeholder / weight /
+    label) and returns the extended graph and the new node id. *)
+let add_input ?(label = "") g kind shape =
+  let id = g.next_id in
+  let n = { id; op = Op.Input kind; shape; label; inputs = [||] } in
+  ({ g with nodes = Int_map.add id n g.nodes; next_id = id + 1 }, id)
+
+(** [add g op inputs] adds an operator node; the output shape is inferred
+    from the input shapes.  Raises [Invalid_argument] on malformed use. *)
+let add ?(label = "") g op inputs =
+  let ins = Array.of_list inputs in
+  Array.iter
+    (fun i ->
+      if not (mem g i) then
+        invalid_arg (Printf.sprintf "Graph.add: unknown input id %d" i))
+    ins;
+  let in_shapes = Array.map (fun i -> (node g i).shape) ins in
+  match Op.infer op in_shapes with
+  | Error msg -> invalid_arg (Printf.sprintf "Graph.add: %s" msg)
+  | Ok shape ->
+      let id = g.next_id in
+      let n = { id; op; shape; label; inputs = ins } in
+      let succs = Array.fold_left (fun s src -> add_succ s src id) g.succs ins in
+      ({ nodes = Int_map.add id n g.nodes; succs; next_id = id + 1 }, id)
+
+(** Remove a node with no consumers. *)
+let remove g id =
+  let n = node g id in
+  if not (Int_set.is_empty (succ_set g id)) then
+    invalid_arg "Graph.remove: node still has consumers";
+  let succs = Array.fold_left (fun s src -> remove_succ s src id) g.succs n.inputs in
+  { g with nodes = Int_map.remove id g.nodes; succs = Int_map.remove id succs }
+
+(** [redirect g ~from_ ~to_] rewires every consumer of [from_] to consume
+    [to_] instead.  Shapes must match. *)
+let redirect g ~from_ ~to_ =
+  if not (Shape.equal_dims (shape g from_) (shape g to_)) then
+    invalid_arg "Graph.redirect: shape mismatch";
+  let consumers = succ_set g from_ in
+  Int_set.fold
+    (fun c g ->
+      let n = node g c in
+      let inputs =
+        Array.map (fun i -> if i = from_ then to_ else i) n.inputs
+      in
+      let nodes = Int_map.add c { n with inputs } g.nodes in
+      let succs = remove_succ g.succs from_ c in
+      let succs = add_succ succs to_ c in
+      { g with nodes; succs })
+    consumers g
+
+(** Replace one operand slot of [node_id]: the occurrence(s) of [old_src]
+    become [new_src]. *)
+let replace_input g ~node_id ~old_src ~new_src =
+  let n = node g node_id in
+  if not (Array.exists (( = ) old_src) n.inputs) then
+    invalid_arg "Graph.replace_input: not an input";
+  let inputs =
+    Array.map (fun i -> if i = old_src then new_src else i) n.inputs
+  in
+  let nodes = Int_map.add node_id { n with inputs } g.nodes in
+  let succs = remove_succ g.succs old_src node_id in
+  let succs = add_succ succs new_src node_id in
+  { g with nodes; succs }
+
+(** [prune_dead ~keep g] removes consumer-less operator nodes except graph
+    inputs and the protected [keep] set (pass the intended graph outputs —
+    losses, gradients — or they would be swept away). *)
+let prune_dead ~keep g =
+  let rec loop g =
+    let dead =
+      Int_map.fold
+        (fun id n acc ->
+          if
+            Int_set.is_empty (succ_set g id)
+            && (not (Op.is_input n.op))
+            && not (Int_set.mem id keep)
+          then id :: acc
+          else acc)
+        g.nodes []
+    in
+    match dead with
+    | [] -> g
+    | _ -> loop (List.fold_left (fun g id -> remove g id) g dead)
+  in
+  loop g
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Graph inputs: nodes with no operands. *)
+let inputs g =
+  Int_map.fold
+    (fun id n acc -> if Array.length n.inputs = 0 then id :: acc else acc)
+    g.nodes []
+  |> List.rev
+
+(** Graph outputs: nodes with no consumers. *)
+let outputs g =
+  Int_map.fold
+    (fun id _ acc -> if Int_set.is_empty (succ_set g id) then id :: acc else acc)
+    g.nodes []
+  |> List.rev
+
+let reachable step start =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | v :: rest ->
+        let nexts = step v in
+        let visited, frontier =
+          List.fold_left
+            (fun (vis, fr) u ->
+              if Int_set.mem u vis then (vis, fr) else (Int_set.add u vis, u :: fr))
+            (visited, rest) nexts
+        in
+        go visited frontier
+  in
+  go (Int_set.of_list start) start
+
+(** Strict ancestors of [id] (everything it transitively depends on). *)
+let anc g id = reachable (pre g) (pre g id)
+
+(** Strict descendants of [id]. *)
+let des g id = reachable (suc g) (suc g id)
+
+(** Ancestors of a set (union of strict ancestors, minus the set). *)
+let anc_of_set g set =
+  let start = Int_set.fold (fun v acc -> pre g v @ acc) set [] in
+  Int_set.diff (reachable (pre g) start) set
+
+let des_of_set g set =
+  let start = Int_set.fold (fun v acc -> suc g v @ acc) set [] in
+  Int_set.diff (reachable (suc g) start) set
+
+(** [G.inps(S)]: nodes outside [S] consumed by members of [S]. *)
+let inps_of g set =
+  Int_set.fold
+    (fun v acc ->
+      List.fold_left
+        (fun acc p -> if Int_set.mem p set then acc else Int_set.add p acc)
+        acc (pre g v))
+    set Int_set.empty
+
+(** [G.outs(S)]: members of [S] whose value is consumed outside [S] (or is a
+    graph output). *)
+let outs_of g set =
+  Int_set.filter
+    (fun v ->
+      let succs = succ_set g v in
+      Int_set.is_empty succs
+      || Int_set.exists (fun s -> not (Int_set.mem s set)) succs)
+    set
+
+(** Weak connectivity of the sub-graph induced by [set]. *)
+let is_weakly_connected g set =
+  match Int_set.choose_opt set with
+  | None -> true
+  | Some seed ->
+      let neighbors v =
+        List.filter (fun u -> Int_set.mem u set) (pre g v @ suc g v)
+      in
+      let visited = reachable neighbors [ seed ] in
+      Int_set.subset set visited
+
+(** Convexity: no path from an output of [S] back into [S] through outside
+    nodes ([G.inps(S) ∩ ⋃_{v∈outs(S)} des(v) = ∅]). *)
+let is_convex g set =
+  let outs = outs_of g set in
+  let desc = des_of_set g outs in
+  let inps = inps_of g set in
+  Int_set.is_empty (Int_set.inter inps desc)
+
+(** Weakly-connected components of the sub-graph induced by [set]. *)
+let components_of g set =
+  let rec all acc remaining =
+    match Int_set.choose_opt remaining with
+    | None -> List.rev acc
+    | Some seed ->
+        let neighbors v =
+          List.filter (fun u -> Int_set.mem u remaining) (pre g v @ suc g v)
+        in
+        let comp = reachable neighbors [ seed ] in
+        let comp = Int_set.add seed comp in
+        all (comp :: acc) (Int_set.diff remaining comp)
+  in
+  all [] set
+
+(* ------------------------------------------------------------------ *)
+(* Topological order                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic Kahn topological order (smallest ready id first). *)
+let topo_order g =
+  let indeg = Hashtbl.create (n_nodes g) in
+  iter
+    (fun n ->
+      Hashtbl.replace indeg n.id
+        (List.length (List.filter (fun p -> mem g p) (pre g n.id))))
+    g;
+  let module Pq = Set.Make (Int) in
+  let ready =
+    Hashtbl.fold (fun id d acc -> if d = 0 then Pq.add id acc else acc) indeg Pq.empty
+  in
+  let rec go ready acc =
+    match Pq.min_elt_opt ready with
+    | None -> List.rev acc
+    | Some v ->
+        let ready = Pq.remove v ready in
+        let ready =
+          List.fold_left
+            (fun r s ->
+              let d = Hashtbl.find indeg s - 1 in
+              Hashtbl.replace indeg s d;
+              if d = 0 then Pq.add s r else r)
+            ready (suc g v)
+        in
+        go ready (v :: acc)
+  in
+  let order = go ready [] in
+  if List.length order <> n_nodes g then
+    invalid_arg "Graph.topo_order: graph has a cycle";
+  order
+
+(** Check that [order] is a permutation of the node set respecting all data
+    dependencies. *)
+let is_valid_order g order =
+  let pos = Hashtbl.create (List.length order) in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+  Hashtbl.length pos = n_nodes g
+  && List.for_all (fun v -> mem g v) order
+  && List.for_all
+       (fun v ->
+         List.for_all
+           (fun p -> Hashtbl.find pos p < Hashtbl.find pos v)
+           (pre g v))
+       order
+
+(** DFS-based order that visits operands right before their first consumer;
+    corresponds to the eager execution order of a define-by-run framework. *)
+let program_order g = topo_order g
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_node g ppf id =
+  let n = node g id in
+  Fmt.pf ppf "%d:%s%s %a <- [%a]" n.id (Op.name n.op)
+    (if n.label = "" then "" else "(" ^ n.label ^ ")")
+    Shape.pp n.shape
+    Fmt.(array ~sep:(any ",") int)
+    n.inputs
+
+let pp ppf g =
+  List.iter (fun id -> Fmt.pf ppf "%a@." (pp_node g) id) (topo_order g)
+
+let to_string g = Fmt.str "%a" pp g
+
+(** Total bytes of all weight tensors (always-resident memory). *)
+let weight_bytes g =
+  fold
+    (fun n acc -> if Op.is_weight n.op then acc + Shape.size_bytes n.shape else acc)
+    g 0

@@ -1,0 +1,75 @@
+(** Tensor shapes and element types.
+
+    A shape is a non-empty list of positive dimension extents plus a data
+    type.  Sizes are reported in bytes; all memory accounting in the cost
+    layer is derived from {!size_bytes}. *)
+
+type dtype = F32 | TF32 | BF16 | F16 | I64 | I32 | Bool
+
+type t = { dims : int array; dtype : dtype }
+
+let dtype_bytes = function
+  | F32 | TF32 -> 4
+  | BF16 | F16 -> 2
+  | I64 -> 8
+  | I32 -> 4
+  | Bool -> 1
+
+let dtype_name = function
+  | F32 -> "f32"
+  | TF32 -> "tf32"
+  | BF16 -> "bf16"
+  | F16 -> "f16"
+  | I64 -> "i64"
+  | I32 -> "i32"
+  | Bool -> "bool"
+
+let create ?(dtype = F32) dims =
+  let dims = Array.of_list dims in
+  if Array.length dims = 0 then invalid_arg "Shape.create: empty shape";
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.create: non-positive dim")
+    dims;
+  { dims; dtype }
+
+let of_array ?(dtype = F32) dims = create ~dtype (Array.to_list dims)
+
+let rank t = Array.length t.dims
+let dim t i = t.dims.(i)
+let dims t = Array.copy t.dims
+let dtype t = t.dtype
+
+let numel t = Array.fold_left ( * ) 1 t.dims
+let size_bytes t = numel t * dtype_bytes t.dtype
+
+let equal a b = a.dtype = b.dtype && a.dims = b.dims
+let equal_dims a b = a.dims = b.dims
+
+(** [with_dim t i d] is [t] with dimension [i] replaced by extent [d]. *)
+let with_dim t i d =
+  if d <= 0 then invalid_arg "Shape.with_dim: non-positive dim";
+  let dims = Array.copy t.dims in
+  dims.(i) <- d;
+  { t with dims }
+
+(** [split_dim t i n] divides dimension [i] by [n]; fails unless [n] divides
+    the extent. Used to derive the shape of one fission part. *)
+let split_dim t i n =
+  let d = t.dims.(i) in
+  if n <= 0 || d mod n <> 0 then
+    invalid_arg
+      (Printf.sprintf "Shape.split_dim: %d does not divide dim %d (=%d)" n i d);
+  with_dim t i (d / n)
+
+let concat_dim t i extra = with_dim t i (t.dims.(i) + extra)
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a]" (dtype_name t.dtype)
+    Fmt.(array ~sep:(any ",") int)
+    t.dims
+
+let to_string t = Fmt.str "%a" pp t
+
+let hash t =
+  let h = Util.hash_string (dtype_name t.dtype) in
+  Util.hash_combine h (Util.hash_int_list (Array.to_list t.dims))

@@ -1,0 +1,44 @@
+(** Tensor shapes and element types.
+
+    A shape is a non-empty vector of positive dimension extents plus a
+    data type; all memory accounting in the cost layer derives from
+    {!size_bytes}. *)
+
+type dtype = F32 | TF32 | BF16 | F16 | I64 | I32 | Bool
+
+type t
+
+val dtype_bytes : dtype -> int
+val dtype_name : dtype -> string
+
+(** [create ?dtype dims] builds a shape.  Raises [Invalid_argument] on an
+    empty dimension list or non-positive extents. *)
+val create : ?dtype:dtype -> int list -> t
+
+val of_array : ?dtype:dtype -> int array -> t
+
+val rank : t -> int
+val dim : t -> int -> int
+val dims : t -> int array
+val dtype : t -> dtype
+val numel : t -> int
+val size_bytes : t -> int
+
+val equal : t -> t -> bool
+
+(** Structural equality of dimensions, ignoring the dtype. *)
+val equal_dims : t -> t -> bool
+
+(** [with_dim t i d] replaces dimension [i] by extent [d]. *)
+val with_dim : t -> int -> int -> t
+
+(** [split_dim t i n] divides dimension [i] by [n]; raises unless [n]
+    divides the extent.  Derives the per-part shape of a fission. *)
+val split_dim : t -> int -> int -> t
+
+(** [concat_dim t i extra] grows dimension [i] by [extra]. *)
+val concat_dim : t -> int -> int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val hash : t -> int64

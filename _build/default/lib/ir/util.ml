@@ -1,0 +1,42 @@
+(** Small shared utilities for the IR layer: integer maps/sets and a
+    deterministic 64-bit mixing hash used by {!Wl_hash}. *)
+
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+let int_set_of_list ids = Int_set.of_list ids
+
+(* SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.  We use it
+   instead of [Hashtbl.hash] because we need the full 64-bit range and a
+   stable definition across OCaml versions. *)
+let mix64 (x : int64) : int64 =
+  let open Int64 in
+  let x = logxor x (shift_right_logical x 30) in
+  let x = mul x 0xbf58476d1ce4e5b9L in
+  let x = logxor x (shift_right_logical x 27) in
+  let x = mul x 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let hash_combine (h : int64) (x : int64) : int64 =
+  mix64 (Int64.add (Int64.mul h 0x100000001b3L) x)
+
+let hash_string (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter (fun c -> h := hash_combine !h (Int64.of_int (Char.code c))) s;
+  !h
+
+let hash_int_list (xs : int list) : int64 =
+  List.fold_left (fun h x -> hash_combine h (Int64.of_int x)) 0x9e3779b97f4a7c15L xs
+
+(** [take n xs] is the first [n] elements of [xs] (all of them if shorter). *)
+let rec take n = function
+  | [] -> []
+  | x :: xs -> if n <= 0 then [] else x :: take (n - 1) xs
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+let rec drop n = function
+  | [] -> []
+  | _ :: xs as l -> if n <= 0 then l else drop (n - 1) xs
+
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+let sum_by_f f xs = List.fold_left (fun acc x -> acc +. f x) 0.0 xs

@@ -1,0 +1,34 @@
+(** Weisfeiler–Lehman-style graph hashing (Algorithm 3, lines 3–6).
+
+    Every node receives a label combining its operator fingerprint, output
+    shape and the (ordered) labels of its operands; the graph hash is a
+    commutative combination of all node labels, so two graphs that are equal
+    up to node renumbering hash identically.  Used by the optimizer to
+    filter duplicate search states. *)
+
+module Int_map = Util.Int_map
+
+(** Per-node WL labels in topological order. *)
+let node_labels (g : Graph.t) : int64 Int_map.t =
+  let order = Graph.topo_order g in
+  List.fold_left
+    (fun acc v ->
+      let n = Graph.node g v in
+      let h0 = Util.hash_combine (Op.fingerprint n.op) (Shape.hash n.shape) in
+      let h =
+        Array.fold_left
+          (fun h p -> Util.hash_combine h (Int_map.find p acc))
+          h0 n.inputs
+      in
+      Int_map.add v (Util.mix64 h) acc)
+    Int_map.empty order
+
+(** Structural hash of the whole graph (invariant under node renumbering). *)
+let hash (g : Graph.t) : int64 =
+  let labels = node_labels g in
+  let sum =
+    Int_map.fold (fun _ h acc -> Int64.add acc h) labels 0L
+  in
+  Util.mix64 sum
+
+let equal_structure a b = Int64.equal (hash a) (hash b)

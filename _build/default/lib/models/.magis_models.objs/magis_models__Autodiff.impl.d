@@ -1,0 +1,1 @@
+lib/models/autodiff.ml: Array Fun Graph List Magis_ir Op Shape Util

@@ -1,0 +1,1 @@
+lib/models/autodiff.mli: Graph Magis_ir Util

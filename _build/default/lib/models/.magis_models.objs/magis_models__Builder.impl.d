@@ -1,0 +1,1 @@
+lib/models/builder.ml: Fun Graph List Magis_ir Op Shape

@@ -1,0 +1,1 @@
+lib/models/randnet.ml: Array Autodiff Builder Graph Hashtbl List Magis_ir Random Shape

@@ -1,0 +1,1 @@
+lib/models/randnet.mli: Graph Magis_ir

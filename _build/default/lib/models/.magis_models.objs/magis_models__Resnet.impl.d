@@ -1,0 +1,1 @@
+lib/models/resnet.ml: Autodiff Builder Graph Magis_ir Shape

@@ -1,0 +1,1 @@
+lib/models/resnet.mli: Graph Magis_ir Shape

@@ -1,0 +1,1 @@
+lib/models/transformer.ml: Autodiff Builder Graph Magis_ir Shape

@@ -1,0 +1,1 @@
+lib/models/transformer.mli: Builder Graph Magis_ir Shape

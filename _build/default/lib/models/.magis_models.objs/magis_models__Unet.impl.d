@@ -1,0 +1,1 @@
+lib/models/unet.ml: Array Autodiff Builder Graph List Magis_ir Shape

@@ -1,0 +1,1 @@
+lib/models/unet.mli: Builder Graph Magis_ir Shape

@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Graph List Magis_ir Printf Resnet String Transformer Unet

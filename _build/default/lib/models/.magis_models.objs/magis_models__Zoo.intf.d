@@ -1,0 +1,1 @@
+lib/models/zoo.mli: Graph Magis_ir

@@ -1,0 +1,211 @@
+(** Reverse-mode automatic differentiation over computation graphs.
+
+    [backward g ~loss] extends [g] with the gradient computation of every
+    weight reachable from [loss], producing the *training graph* that the
+    memory optimizer operates on.  The structural property that matters for
+    the paper is faithfully reproduced: forward activations are consumed by
+    backward operators, so they stay live across the whole forward pass —
+    the dominant source of peak memory in DNN training.
+
+    Numerical shortcuts (documented, cost-neutral):
+    - activation derivatives use a same-family surrogate unary op (e.g. the
+      backward of ReLU is [dy * relu(x)] instead of [dy * 1_{x>0}]) — same
+      shapes, same operator class, same cost;
+    - the loss must be a full reduction; its gradient seed is a placeholder
+      with the pre-reduction shape (ones in a real system). *)
+
+open Magis_ir
+module Int_map = Util.Int_map
+
+type grad_env = { mutable g : Graph.t; mutable grads : int Int_map.t }
+
+let add_op env kind inputs =
+  let g, id = Graph.add env.g kind inputs in
+  env.g <- g;
+  id
+
+(** Accumulate gradient [dg] into node [v]'s gradient slot. *)
+let accumulate env v dg =
+  match Int_map.find_opt v env.grads with
+  | None -> env.grads <- Int_map.add v dg env.grads
+  | Some existing ->
+      let sum = add_op env (Op.Binary Op.Add) [ existing; dg ] in
+      env.grads <- Int_map.add v sum env.grads
+
+let inv_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  inv
+
+(** Propagate [dy] through node [n], accumulating input gradients. *)
+let backprop_node env (g0 : Graph.t) (n : Graph.node) (dy : int) : unit =
+  let in_ i = n.inputs.(i) in
+  let in_shape i = Graph.shape g0 (in_ i) in
+  let acc i dg = accumulate env (in_ i) dg in
+  match n.op with
+  | Op.Input _ -> ()
+  | Op.Matmul { trans_a; trans_b } ->
+      (* c = a.b (with views); da = dc.b^T, db = a^T.dc for the plain case;
+         transposed views permute the flags accordingly *)
+      let da =
+        if trans_a then
+          add_op env (Op.Matmul { trans_a = trans_b; trans_b = true }) [ in_ 1; dy ]
+        else add_op env (Op.Matmul { trans_a = false; trans_b = not trans_b }) [ dy; in_ 1 ]
+      in
+      let db =
+        if trans_b then
+          add_op env (Op.Matmul { trans_a = true; trans_b = trans_a }) [ dy; in_ 0 ]
+        else add_op env (Op.Matmul { trans_a = not trans_a; trans_b = false }) [ in_ 0; dy ]
+      in
+      acc 0 da;
+      acc 1 db
+  | Op.Dense { trans_w } ->
+      let dx = add_op env (Op.Dense { trans_w = not trans_w }) [ dy; in_ 1 ] in
+      let dw =
+        if trans_w then add_op env Op.Dense_bwd_weight [ dy; in_ 0 ]
+        else add_op env Op.Dense_bwd_weight [ in_ 0; dy ]
+      in
+      acc 0 dx;
+      acc 1 dw
+  | Op.Dense_bwd_weight -> () (* not differentiated further *)
+  | Op.Batch_matmul { trans_a; trans_b } ->
+      let da =
+        if trans_a then
+          add_op env (Op.Batch_matmul { trans_a = trans_b; trans_b = true }) [ in_ 1; dy ]
+        else
+          add_op env (Op.Batch_matmul { trans_a = false; trans_b = not trans_b }) [ dy; in_ 1 ]
+      in
+      let db =
+        if trans_b then
+          add_op env (Op.Batch_matmul { trans_a = true; trans_b = trans_a }) [ dy; in_ 0 ]
+        else
+          add_op env (Op.Batch_matmul { trans_a = not trans_a; trans_b = false }) [ in_ 0; dy ]
+      in
+      acc 0 da;
+      acc 1 db
+  | Op.Conv2d attrs ->
+      let dx = add_op env (Op.Conv2d_bwd_data attrs) [ dy; in_ 1; in_ 0 ] in
+      let dw = add_op env (Op.Conv2d_bwd_weight attrs) [ dy; in_ 0; in_ 1 ] in
+      acc 0 dx;
+      acc 1 dw
+  | Op.Conv2d_bwd_data _ | Op.Conv2d_bwd_weight _ | Op.Pool2d_bwd _
+  | Op.Softmax_bwd _ | Op.Layer_norm_bwd _ | Op.Embedding_bwd | Op.Store
+  | Op.Load ->
+      () (* backward-only operators *)
+  | Op.Pool2d attrs -> acc 0 (add_op env (Op.Pool2d_bwd attrs) [ dy; in_ 0 ])
+  | Op.Unary Op.Identity -> acc 0 dy
+  | Op.Unary Op.Neg -> acc 0 (add_op env (Op.Unary Op.Neg) [ dy ])
+  | Op.Unary (Op.Scale f) -> acc 0 (add_op env (Op.Unary (Op.Scale f)) [ dy ])
+  | Op.Unary u ->
+      (* surrogate derivative from the same unary family (cost-neutral) *)
+      let deriv = add_op env (Op.Unary u) [ in_ 0 ] in
+      acc 0 (add_op env (Op.Binary Op.Mul) [ dy; deriv ])
+  | Op.Binary Op.Add ->
+      acc 0 dy;
+      acc 1 dy
+  | Op.Binary Op.Sub ->
+      acc 0 dy;
+      acc 1 (add_op env (Op.Unary Op.Neg) [ dy ])
+  | Op.Binary Op.Mul ->
+      acc 0 (add_op env (Op.Binary Op.Mul) [ dy; in_ 1 ]);
+      acc 1 (add_op env (Op.Binary Op.Mul) [ dy; in_ 0 ])
+  | Op.Binary Op.Div ->
+      acc 0 (add_op env (Op.Binary Op.Div) [ dy; in_ 1 ]);
+      let num = add_op env (Op.Binary Op.Mul) [ dy; in_ 0 ] in
+      acc 1 (add_op env (Op.Unary Op.Neg) [ num ])
+  | Op.Binary Op.Max ->
+      (* surrogate: route the gradient through both branches halved *)
+      acc 0 (add_op env (Op.Unary (Op.Scale 0.5)) [ dy ]);
+      acc 1 (add_op env (Op.Unary (Op.Scale 0.5)) [ dy ])
+  | Op.Bias_add axis ->
+      acc 0 dy;
+      let r = Shape.rank n.shape in
+      let axes = List.filter (fun i -> i <> axis) (List.init r Fun.id) in
+      acc 1 (add_op env (Op.Reduce (Op.R_sum, axes)) [ dy ])
+  | Op.Softmax axis ->
+      acc 0 (add_op env (Op.Softmax_bwd axis) [ dy; n.id ])
+  | Op.Layer_norm axis ->
+      let dx = add_op env (Op.Layer_norm_bwd axis) [ dy; in_ 0; in_ 2 ] in
+      acc 0 dx;
+      let r = Shape.rank n.shape in
+      let lead = List.init axis Fun.id in
+      let dyx = add_op env (Op.Binary Op.Mul) [ dy; n.id ] in
+      if lead <> [] then begin
+        acc 2 (add_op env (Op.Reduce (Op.R_sum, lead)) [ dyx ]);
+        acc 1 (add_op env (Op.Reduce (Op.R_sum, lead)) [ dy ])
+      end;
+      ignore r
+  | Op.Batch_norm ->
+      (* frozen affine BN: dx is another affine transform of dy *)
+      let zero = in_ 2 in
+      let dx = add_op env Op.Batch_norm [ dy; in_ 1; zero ] in
+      acc 0 dx;
+      let dyx = add_op env (Op.Binary Op.Mul) [ dy; in_ 0 ] in
+      acc 1 (add_op env (Op.Reduce (Op.R_sum, [ 0; 2; 3 ])) [ dyx ]);
+      acc 2 (add_op env (Op.Reduce (Op.R_sum, [ 0; 2; 3 ])) [ dy ])
+  | Op.Reduce (kind, axes) ->
+      let dims = Shape.dims (in_shape 0) in
+      let bc = add_op env (Op.Broadcast { dims; axes }) [ dy ] in
+      let dg =
+        match kind with
+        | Op.R_sum | Op.R_max -> bc
+        | Op.R_mean ->
+            let k =
+              List.fold_left (fun acc a -> acc * dims.(a)) 1 axes
+            in
+            add_op env (Op.Unary (Op.Scale (1.0 /. float_of_int k))) [ bc ]
+      in
+      acc 0 dg
+  | Op.Broadcast { axes; _ } ->
+      acc 0 (add_op env (Op.Reduce (Op.R_sum, axes)) [ dy ])
+  | Op.Transpose perm ->
+      acc 0 (add_op env (Op.Transpose (inv_perm perm)) [ dy ])
+  | Op.Reshape _ ->
+      let dims = Shape.dims (in_shape 0) in
+      acc 0 (add_op env (Op.Reshape dims) [ dy ])
+  | Op.Slice _ -> () (* no padding op; slices only appear post-optimization *)
+  | Op.Concat axis ->
+      let lo = ref 0 in
+      Array.iteri
+        (fun slot u ->
+          let extent = Shape.dim (Graph.shape g0 u) axis in
+          let dslice =
+            add_op env
+              (Op.Slice { axis; lo = !lo; hi = !lo + extent })
+              [ dy ]
+          in
+          lo := !lo + extent;
+          accumulate env n.inputs.(slot) dslice)
+        n.inputs
+  | Op.Embedding ->
+      acc 0 (add_op env Op.Embedding_bwd [ dy; in_ 1; in_ 0 ])
+
+(** [grad_table g ~loss] extends [g] with the backward pass and returns the
+    new graph together with the node->gradient mapping.  [loss] must be a
+    full sum/mean reduction; the backward pass is seeded at the reduction's
+    input with a placeholder of the same shape. *)
+let grad_table (g : Graph.t) ~(loss : int) : Graph.t * int Int_map.t =
+  let loss_node = Graph.node g loss in
+  let seed_at, seed_shape =
+    match loss_node.op with
+    | Op.Reduce (_, _) -> (loss_node.inputs.(0), Graph.shape g loss_node.inputs.(0))
+    | _ -> (loss, loss_node.shape)
+  in
+  let env = { g; grads = Int_map.empty } in
+  let g', seed =
+    Graph.add_input ~label:"grad_seed" env.g Op.Label seed_shape
+  in
+  env.g <- g';
+  env.grads <- Int_map.add seed_at seed env.grads;
+  let order = List.rev (Graph.topo_order g) in
+  List.iter
+    (fun v ->
+      match Int_map.find_opt v env.grads with
+      | None -> ()
+      | Some dy -> backprop_node env g (Graph.node g v) dy)
+    order;
+  (env.g, env.grads)
+
+(** Training graph: forward plus gradients of every reachable weight. *)
+let backward (g : Graph.t) ~(loss : int) : Graph.t =
+  fst (grad_table g ~loss)

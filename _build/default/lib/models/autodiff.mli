@@ -1,0 +1,16 @@
+(** Reverse-mode automatic differentiation: extend a forward graph with
+    its backward pass, producing the training graphs the optimizer works
+    on.  Activation derivatives use cost-neutral same-family surrogates;
+    the loss must be a full reduction (the gradient seed is a label-kind
+    placeholder at the reduction's input).  See the implementation header
+    for the documented numerical shortcuts. *)
+
+open Magis_ir
+module Int_map = Util.Int_map
+
+(** Extend [g] with the backward pass; returns the new graph and the
+    node -> gradient-node mapping. *)
+val grad_table : Graph.t -> loss:int -> Graph.t * int Int_map.t
+
+(** Training graph: forward plus gradients of every reachable weight. *)
+val backward : Graph.t -> loss:int -> Graph.t

@@ -1,0 +1,79 @@
+(** Random NASNet-like DNN generator (used by the paper's Fig. 14 to stress
+    incremental vs full scheduling on irregularly wired networks).
+
+    Each cell has [nodes_per_cell] internal nodes; every internal node
+    combines two randomly chosen earlier tensors with a random operation
+    (1x1 conv, 3x3 conv, pooling+projection, or add); the cell output
+    concatenates the loose ends and projects back to the cell width. *)
+
+open Magis_ir
+module B = Builder
+
+type config = {
+  cells : int;
+  nodes_per_cell : int;
+  channels : int;
+  image : int;
+  batch : int;
+  seed : int;
+}
+
+let default =
+  { cells = 4; nodes_per_cell = 5; channels = 32; image = 32; batch = 8; seed = 1 }
+
+let conv1x1 b x ~ch ~dtype =
+  let in_ch = Shape.dim (B.shape b x) 1 in
+  let w = B.weight b [ ch; in_ch; 1; 1 ] ~dtype in
+  B.relu b (B.conv2d b x w)
+
+let conv3x3 b x ~ch ~dtype =
+  let in_ch = Shape.dim (B.shape b x) 1 in
+  let w = B.weight b [ ch; in_ch; 3; 3 ] ~dtype in
+  B.relu b (B.conv2d ~padding:1 b x w)
+
+let cell rng b x ~cfg ~dtype =
+  let ch = cfg.channels in
+  let tensors = ref [| x |] in
+  let used = Hashtbl.create 8 in
+  for _ = 1 to cfg.nodes_per_cell do
+    let pick () =
+      let i = Random.State.int rng (Array.length !tensors) in
+      Hashtbl.replace used i ();
+      !tensors.(i)
+    in
+    let a = pick () and c = pick () in
+    let combined =
+      match Random.State.int rng 4 with
+      | 0 -> B.add b (conv1x1 b a ~ch ~dtype) (conv1x1 b c ~ch ~dtype)
+      | 1 -> B.add b (conv3x3 b a ~ch ~dtype) (conv1x1 b c ~ch ~dtype)
+      | 2 -> B.add b (conv3x3 b a ~ch ~dtype) (conv3x3 b c ~ch ~dtype)
+      | _ ->
+          let p = B.maxpool2d ~kernel:1 ~stride:1 b a in
+          B.add b (conv1x1 b p ~ch ~dtype) (conv1x1 b c ~ch ~dtype)
+    in
+    tensors := Array.append !tensors [| combined |]
+  done;
+  (* concat loose ends, project back to the cell width *)
+  let loose =
+    Array.to_list !tensors
+    |> List.filteri (fun i _ -> not (Hashtbl.mem used i))
+  in
+  match loose with
+  | [] -> !tensors.(Array.length !tensors - 1)
+  | [ one ] -> conv1x1 b one ~ch ~dtype
+  | many -> conv1x1 b (B.concat b ~axis:1 many) ~ch ~dtype
+
+(** Build the training graph of a random network with the given seed. *)
+let build ?(cfg = default) () : Graph.t =
+  let rng = Random.State.make [| cfg.seed |] in
+  let dtype = Shape.TF32 in
+  let b = B.create () in
+  let x = B.input b [ cfg.batch; 3; cfg.image; cfg.image ] ~dtype in
+  let y = ref (conv1x1 b x ~ch:cfg.channels ~dtype) in
+  for _ = 1 to cfg.cells do
+    y := cell rng b !y ~cfg ~dtype
+  done;
+  let w = B.weight b [ 10; cfg.channels; 1; 1 ] ~dtype in
+  let logits = B.conv2d b !y w in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss

@@ -1,0 +1,19 @@
+(** Random NASNet-like DNN generator (the paper's Fig. 14 subjects):
+    cells of randomly wired convolution/add nodes with a concat-project
+    output, deterministic per seed. *)
+
+open Magis_ir
+
+type config = {
+  cells : int;
+  nodes_per_cell : int;
+  channels : int;
+  image : int;
+  batch : int;
+  seed : int;
+}
+
+val default : config
+
+(** Training graph of the random network. *)
+val build : ?cfg:config -> unit -> Graph.t

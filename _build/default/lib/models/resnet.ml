@@ -1,0 +1,68 @@
+(** ResNet (He et al., CVPR'16) training-graph builder.
+
+    Bottleneck-block ResNet in NCHW layout with frozen batch-norm (the
+    memory optimizer treats BN as a per-channel affine transform; see
+    DESIGN.md).  [resnet50] matches the paper's Table 2 row
+    (batch 64, image 224); [build ~blocks ~image] allows depth-reduced
+    variants for quick benchmarking. *)
+
+open Magis_ir
+module B = Builder
+
+let conv_bn_relu ?(relu = true) ?(stride = 1) ?(padding = 0) b x ~in_ch
+    ~out_ch ~kernel ~dtype =
+  let w = B.weight b [ out_ch; in_ch; kernel; kernel ] ~dtype in
+  let y = B.conv2d ~stride ~padding b x w in
+  let gamma = B.weight b [ out_ch ] ~dtype in
+  let beta = B.weight b [ out_ch ] ~dtype in
+  let y = B.batch_norm b y gamma beta in
+  if relu then B.relu b y else y
+
+let bottleneck b x ~in_ch ~mid ~out_ch ~stride ~dtype =
+  let y = conv_bn_relu b x ~in_ch ~out_ch:mid ~kernel:1 ~dtype in
+  let y = conv_bn_relu ~stride ~padding:1 b y ~in_ch:mid ~out_ch:mid ~kernel:3 ~dtype in
+  let y = conv_bn_relu ~relu:false b y ~in_ch:mid ~out_ch ~kernel:1 ~dtype in
+  let skip =
+    if in_ch <> out_ch || stride <> 1 then
+      conv_bn_relu ~relu:false ~stride b x ~in_ch ~out_ch ~kernel:1 ~dtype
+    else x
+  in
+  B.relu b (B.add b y skip)
+
+(** [build ~batch ~image ~blocks ()] constructs the ResNet training graph.
+    [blocks] gives the number of bottlenecks per stage
+    (ResNet-50 = [3;4;6;3]). *)
+let build ?(dtype = Shape.TF32) ~batch ~image ~blocks () : Graph.t =
+  let b = B.create () in
+  let x = B.input b [ batch; 3; image; image ] ~dtype in
+  (* stem: 7x7/2 conv + 2x2 pool *)
+  let y = conv_bn_relu ~stride:2 ~padding:3 b x ~in_ch:3 ~out_ch:64 ~kernel:7 ~dtype in
+  let y = B.maxpool2d ~kernel:2 ~stride:2 b y in
+  let stage y ~n ~in_ch ~mid ~out_ch ~stride =
+    let y = ref (bottleneck b y ~in_ch ~mid ~out_ch ~stride ~dtype) in
+    for _ = 2 to n do
+      y := bottleneck b !y ~in_ch:out_ch ~mid ~out_ch ~stride:1 ~dtype
+    done;
+    !y
+  in
+  let n1, n2, n3, n4 =
+    match blocks with
+    | [ a; b; c; d ] -> (a, b, c, d)
+    | _ -> invalid_arg "Resnet.build: blocks must have 4 stages"
+  in
+  let y = stage y ~n:n1 ~in_ch:64 ~mid:64 ~out_ch:256 ~stride:1 in
+  let y = stage y ~n:n2 ~in_ch:256 ~mid:128 ~out_ch:512 ~stride:2 in
+  let y = stage y ~n:n3 ~in_ch:512 ~mid:256 ~out_ch:1024 ~stride:2 in
+  let y = stage y ~n:n4 ~in_ch:1024 ~mid:512 ~out_ch:2048 ~stride:2 in
+  (* head: global average pool + classifier *)
+  let hw = Shape.dim (B.shape b y) 2 in
+  let y = B.avgpool2d ~kernel:hw ~stride:hw b y in
+  let y = B.reshape b ~dims:[| batch; 2048 |] y in
+  let w = B.weight b [ 2048; 1000 ] ~dtype in
+  let bias = B.weight b [ 1000 ] ~dtype in
+  let logits = B.linear b y w bias in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss
+
+let resnet50 ?(batch = 64) ?(image = 224) () =
+  build ~batch ~image ~blocks:[ 3; 4; 6; 3 ] ()

@@ -1,0 +1,12 @@
+(** ResNet (He et al., CVPR'16) training-graph builder: bottleneck blocks
+    in NCHW layout with frozen batch-norm (see DESIGN.md). *)
+
+open Magis_ir
+
+(** [build ~batch ~image ~blocks ()] with [blocks] the bottleneck counts
+    of the four stages (ResNet-50 = [3;4;6;3]). *)
+val build :
+  ?dtype:Shape.dtype -> batch:int -> image:int -> blocks:int list -> unit ->
+  Graph.t
+
+val resnet50 : ?batch:int -> ?image:int -> unit -> Graph.t

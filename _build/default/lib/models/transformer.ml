@@ -1,0 +1,111 @@
+(** Transformer training-graph builders: BERT-style encoders, ViT, and
+    GPT-style decoder LMs (GPT-Neo, BTLM).
+
+    Blocks follow the standard pre-LN architecture: LN → QKV projections →
+    scaled dot-product attention (batched matmuls + softmax) → output
+    projection → residual, then LN → 4x MLP → residual.  Positional
+    embeddings are folded into the token embedding (a LayerNorm follows it)
+    — structurally irrelevant for memory optimization. *)
+
+open Magis_ir
+module B = Builder
+
+type config = {
+  batch : int;
+  seq_len : int;
+  hidden : int;
+  heads : int;
+  layers : int;
+  vocab : int;
+  dtype : Shape.dtype;
+}
+
+let bert_base ?(batch = 32) ?(seq_len = 512) ?(layers = 12) ?(vocab = 30522)
+    () =
+  { batch; seq_len; hidden = 768; heads = 12; layers; vocab; dtype = Shape.TF32 }
+
+let vit_base ?(batch = 64) ?(image = 224) ?(patch = 16) ?(layers = 12) () =
+  let seq_len = image / patch * (image / patch) in
+  { batch; seq_len; hidden = 768; heads = 12; layers; vocab = 1000; dtype = Shape.TF32 }
+
+let gpt_neo_1_3b ?(batch = 32) ?(seq_len = 512) ?(layers = 24) ?(vocab = 50257)
+    () =
+  { batch; seq_len; hidden = 2048; heads = 16; layers; vocab; dtype = Shape.BF16 }
+
+let btlm_3b ?(batch = 32) ?(seq_len = 512) ?(layers = 32) ?(vocab = 50257) () =
+  { batch; seq_len; hidden = 2560; heads = 20; layers; vocab; dtype = Shape.BF16 }
+
+let layer_norm_last b x ~hidden ~dtype =
+  let gamma = B.weight b [ hidden ] ~dtype in
+  let beta = B.weight b [ hidden ] ~dtype in
+  let r = Shape.rank (B.shape b x) in
+  B.layer_norm b ~axis:(r - 1) x gamma beta
+
+(** One pre-LN transformer block on a [B,T,C] tensor. *)
+let block b x (c : config) =
+  let { batch; seq_len; hidden; heads; dtype; _ } = c in
+  let hd = hidden / heads in
+  let to_heads t =
+    let t = B.reshape b ~dims:[| batch; seq_len; heads; hd |] t in
+    B.transpose b ~perm:[| 0; 2; 1; 3 |] t
+  in
+  let ln1 = layer_norm_last b x ~hidden ~dtype in
+  let proj label =
+    let w = B.weight ~label b [ hidden; hidden ] ~dtype in
+    to_heads (B.dense b ln1 w)
+  in
+  let q = proj "wq" and k = proj "wk" and v = proj "wv" in
+  let att = B.bmm ~trans_b:true b q k in
+  let att = B.scale b (1.0 /. sqrt (float_of_int hd)) att in
+  let att = B.softmax b ~axis:3 att in
+  let ctx = B.bmm b att v in
+  let ctx = B.transpose b ~perm:[| 0; 2; 1; 3 |] ctx in
+  let ctx = B.reshape b ~dims:[| batch; seq_len; hidden |] ctx in
+  let wo = B.weight ~label:"wo" b [ hidden; hidden ] ~dtype in
+  let x = B.add b x (B.dense b ctx wo) in
+  (* MLP *)
+  let ln2 = layer_norm_last b x ~hidden ~dtype in
+  let w1 = B.weight ~label:"w_up" b [ hidden; 4 * hidden ] ~dtype in
+  let w2 = B.weight ~label:"w_down" b [ 4 * hidden; hidden ] ~dtype in
+  let h = B.gelu b (B.dense b ln2 w1) in
+  B.add b x (B.dense b h w2)
+
+(** Language-model training graph (BERT / GPT-Neo / BTLM): token embedding,
+    [c.layers] blocks, final LN, vocabulary projection, sum loss. *)
+let build_lm (c : config) : Graph.t =
+  let b = B.create () in
+  let ids = B.input ~label:"ids" b [ c.batch; c.seq_len ] ~dtype:Shape.I64 in
+  let table = B.weight ~label:"tok_emb" b [ c.vocab; c.hidden ] ~dtype:c.dtype in
+  let x = B.embedding b table ids in
+  let x = layer_norm_last b x ~hidden:c.hidden ~dtype:c.dtype in
+  let x = ref x in
+  for _ = 1 to c.layers do
+    x := block b !x c
+  done;
+  let x = layer_norm_last b !x ~hidden:c.hidden ~dtype:c.dtype in
+  let w_lm = B.weight ~label:"lm_head" b [ c.hidden; c.vocab ] ~dtype:c.dtype in
+  let logits = B.dense b x w_lm in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss
+
+(** Vision-transformer training graph: conv patch embedding, transformer
+    blocks, mean-pooled classifier head. *)
+let build_vit ?(image = 224) ?(patch = 16) (c : config) : Graph.t =
+  let b = B.create () in
+  let x = B.input b [ c.batch; 3; image; image ] ~dtype:c.dtype in
+  let w_patch = B.weight ~label:"patch" b [ c.hidden; 3; patch; patch ] ~dtype:c.dtype in
+  let y = B.conv2d ~stride:patch b x w_patch in
+  let n_patches = image / patch * (image / patch) in
+  let y = B.reshape b ~dims:[| c.batch; c.hidden; n_patches |] y in
+  let y = B.transpose b ~perm:[| 0; 2; 1 |] y in
+  let y = ref y in
+  for _ = 1 to c.layers do
+    y := block b !y c
+  done;
+  let y = layer_norm_last b !y ~hidden:c.hidden ~dtype:c.dtype in
+  let pooled = B.reduce_sum b ~axes:[ 1 ] y in
+  let w_cls = B.weight ~label:"cls" b [ c.hidden; c.vocab ] ~dtype:c.dtype in
+  let bias = B.weight b [ c.vocab ] ~dtype:c.dtype in
+  let logits = B.linear b pooled w_cls bias in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss

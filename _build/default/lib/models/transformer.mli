@@ -1,0 +1,39 @@
+(** Transformer training-graph builders: BERT-style encoders, ViT and
+    GPT-style decoder LMs (pre-LN blocks: LN -> QKV -> scaled dot-product
+    attention -> projection -> residual -> LN -> 4x MLP -> residual). *)
+
+open Magis_ir
+
+type config = {
+  batch : int;
+  seq_len : int;
+  hidden : int;
+  heads : int;
+  layers : int;
+  vocab : int;
+  dtype : Shape.dtype;
+}
+
+val bert_base :
+  ?batch:int -> ?seq_len:int -> ?layers:int -> ?vocab:int -> unit -> config
+
+val vit_base :
+  ?batch:int -> ?image:int -> ?patch:int -> ?layers:int -> unit -> config
+
+val gpt_neo_1_3b :
+  ?batch:int -> ?seq_len:int -> ?layers:int -> ?vocab:int -> unit -> config
+
+val btlm_3b :
+  ?batch:int -> ?seq_len:int -> ?layers:int -> ?vocab:int -> unit -> config
+
+(** One pre-LN transformer block on a [B,T,C] tensor (exposed for the
+    examples and tests). *)
+val block : Builder.t -> int -> config -> int
+
+(** Language-model training graph: embedding, blocks, LM head, loss,
+    backward. *)
+val build_lm : config -> Graph.t
+
+(** Vision-transformer training graph: conv patch embedding, blocks,
+    mean-pooled classifier. *)
+val build_vit : ?image:int -> ?patch:int -> config -> Graph.t

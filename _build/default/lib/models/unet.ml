@@ -1,0 +1,169 @@
+(** U-Net (Ronneberger et al., MICCAI'15) and U-Net++ (Zhou et al.,
+    DLMIA'18) training-graph builders.
+
+    These are the paper's "complicated inter-cell connection" workloads:
+    long skip connections keep encoder activations alive deep into the
+    decoder, creating the memory hot-spots MAGIS exploits.  Upsampling is a
+    transposed convolution (realized as [Conv2d_bwd_data]). *)
+
+open Magis_ir
+module B = Builder
+
+let conv_block ?(convs = 2) b x ~in_ch ~out_ch ~dtype =
+  let y = ref x and ch = ref in_ch in
+  for _ = 1 to convs do
+    let w = B.weight b [ out_ch; !ch; 3; 3 ] ~dtype in
+    let c = B.conv2d ~padding:1 b !y w in
+    let gamma = B.weight b [ out_ch ] ~dtype in
+    let beta = B.weight b [ out_ch ] ~dtype in
+    y := B.relu b (B.batch_norm b c gamma beta);
+    ch := out_ch
+  done;
+  !y
+
+(** 2x transposed-convolution upsampling from [in_ch] to [out_ch]. *)
+let up b x ~in_ch ~out_ch ~dtype =
+  let w = B.weight b [ in_ch; out_ch; 2; 2 ] ~dtype in
+  B.deconv2d ~stride:2 b x w
+
+(** Forward pass of a U-Net inside an existing builder; returns the
+    logits node.  Used for inference graphs (edge deployment) and as the
+    body of {!build_unet}. *)
+let forward_unet ?(dtype = Shape.TF32) ?(classes = 2) ~batch ~image ~base
+    ~depth (b : B.t) : int =
+  let x = B.input b [ batch; 3; image; image ] ~dtype in
+  (* encoder *)
+  let skips = ref [] in
+  let y = ref x and ch = ref 3 in
+  for level = 0 to depth - 1 do
+    let out_ch = base * (1 lsl level) in
+    let conv = conv_block b !y ~in_ch:!ch ~out_ch ~dtype in
+    skips := conv :: !skips;
+    y := B.maxpool2d b conv;
+    ch := out_ch
+  done;
+  (* bottleneck *)
+  let bot_ch = base * (1 lsl depth) in
+  let y = ref (conv_block b !y ~in_ch:!ch ~out_ch:bot_ch ~dtype) in
+  let ch = ref bot_ch in
+  (* decoder *)
+  List.iteri
+    (fun i skip ->
+      let level = depth - 1 - i in
+      let out_ch = base * (1 lsl level) in
+      let u = up b !y ~in_ch:!ch ~out_ch ~dtype in
+      let cat = B.concat b ~axis:1 [ skip; u ] in
+      y := conv_block b cat ~in_ch:(2 * out_ch) ~out_ch ~dtype;
+      ch := out_ch)
+    !skips;
+  let w_out = B.weight b [ classes; !ch; 1; 1 ] ~dtype in
+  B.conv2d b !y w_out
+
+(** [build_unet ~batch ~image ~base ~depth ()] builds the U-Net *training*
+    graph ([depth] encoder levels, [base] channels at the top level). *)
+let build_unet ?dtype ?classes ~batch ~image ~base ~depth () : Graph.t =
+  let b = B.create () in
+  let logits = forward_unet ?dtype ?classes ~batch ~image ~base ~depth b in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss
+
+(** Inference-only U-Net (the paper's mobile-deployment motivation:
+    high-resolution image models on memory-limited devices). *)
+let unet_inference ?dtype ?classes ~batch ~image ~base ~depth () : Graph.t =
+  let b = B.create () in
+  let _ = forward_unet ?dtype ?classes ~batch ~image ~base ~depth b in
+  B.finish b
+
+(** U-Net++ with dense nested skip pathways:
+    [x.(i).(j) = conv(concat(x.(i).(0..j-1), up(x.(i+1).(j-1))))]. *)
+let build_unetpp ?(dtype = Shape.TF32) ?(classes = 2) ~batch ~image ~base
+    ~depth () : Graph.t =
+  let b = B.create () in
+  let input = B.input b [ batch; 3; image; image ] ~dtype in
+  let ch level = base * (1 lsl level) in
+  (* backbone column x.(i).(0) *)
+  let x = Array.make_matrix (depth + 1) (depth + 1) (-1) in
+  let y = ref input and c = ref 3 in
+  for i = 0 to depth do
+    if i > 0 then y := B.maxpool2d b !y;
+    x.(i).(0) <- conv_block b !y ~in_ch:!c ~out_ch:(ch i) ~dtype;
+    y := x.(i).(0);
+    c := ch i
+  done;
+  (* nested decoder nodes *)
+  for j = 1 to depth do
+    for i = 0 to depth - j do
+      let u = up b x.(i + 1).(j - 1) ~in_ch:(ch (i + 1)) ~out_ch:(ch i) ~dtype in
+      let prior = List.init j (fun k -> x.(i).(k)) in
+      let cat = B.concat b ~axis:1 (prior @ [ u ]) in
+      let in_ch = (j + 1) * ch i in
+      x.(i).(j) <- conv_block ~convs:1 b cat ~in_ch ~out_ch:(ch i) ~dtype
+    done
+  done;
+  let w_out = B.weight b [ classes; ch 0; 1; 1 ] ~dtype in
+  let logits = B.conv2d b x.(0).(depth) w_out in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss
+
+(** VDSR-style super-resolution network: a deep chain of stride-1
+    "same"-padded convolutions at full resolution with a global residual —
+    the classic mobile image-restoration workload, and the ideal subject
+    for the spatial (halo) fission extension: at batch 1 every big
+    intermediate lives on the conv chain. *)
+let srnet_inference ?(dtype = Shape.TF32) ?(channels = 64) ?(depth = 12)
+    ~image () : Graph.t =
+  let b = B.create () in
+  let x = B.input b [ 1; 3; image; image ] ~dtype in
+  let w_in = B.weight b [ channels; 3; 3; 3 ] ~dtype in
+  let h = ref (B.relu b (B.conv2d ~padding:1 b x w_in)) in
+  for _ = 1 to depth do
+    let w = B.weight b [ channels; channels; 3; 3 ] ~dtype in
+    h := B.relu b (B.conv2d ~padding:1 b !h w)
+  done;
+  let w_out = B.weight b [ 3; channels; 3; 3 ] ~dtype in
+  let residual = B.conv2d ~padding:1 b !h w_out in
+  let _ = B.add b x residual in
+  B.finish b
+
+(** DenseNet-style block stack (Huang et al., CVPR'17 — the paper's §2.3
+    citation for long skip connections): every layer's input is the
+    concatenation of all earlier feature maps in the block, so early
+    activations stay live through the whole block — a dense version of
+    the memory hot-spot pattern. *)
+let densenet_training ?(dtype = Shape.TF32) ?(growth = 8) ?(layers = 6)
+    ?(blocks = 2) ~batch ~image () : Graph.t =
+  let b = B.create () in
+  let x = B.input b [ batch; 3; image; image ] ~dtype in
+  let w0 = B.weight b [ 2 * growth; 3; 3; 3 ] ~dtype in
+  let stem = B.relu b (B.conv2d ~padding:1 b x w0) in
+  let block input in_ch =
+    let features = ref [ input ] and ch = ref in_ch in
+    for _ = 1 to layers do
+      let cat =
+        match !features with [ one ] -> one | l -> B.concat b ~axis:1 (List.rev l)
+      in
+      let w = B.weight b [ growth; !ch; 3; 3 ] ~dtype in
+      let f = B.relu b (B.conv2d ~padding:1 b cat w) in
+      features := f :: !features;
+      ch := !ch + growth
+    done;
+    (B.concat b ~axis:1 (List.rev !features), !ch)
+  in
+  let y = ref stem and ch = ref (2 * growth) in
+  for i = 1 to blocks do
+    let out, out_ch = block !y !ch in
+    (* transition: 1x1 conv + pool, except after the last block *)
+    if i < blocks then begin
+      let w = B.weight b [ out_ch / 2; out_ch; 1; 1 ] ~dtype in
+      y := B.maxpool2d b (B.relu b (B.conv2d b out w));
+      ch := out_ch / 2
+    end
+    else begin
+      y := out;
+      ch := out_ch
+    end
+  done;
+  let w_out = B.weight b [ 10; !ch; 1; 1 ] ~dtype in
+  let logits = B.conv2d b !y w_out in
+  let loss = B.sum_loss b logits in
+  Autodiff.backward (B.finish b) ~loss

@@ -1,0 +1,116 @@
+(** The paper's evaluation workloads (Table 2), each buildable at two
+    scales: [Full] matches the paper's configuration; [Quick] keeps the
+    architecture and per-layer shapes but reduces depth / resolution /
+    vocabulary so the whole benchmark suite runs in minutes on a CPU. *)
+
+open Magis_ir
+
+type scale = Quick | Full
+
+type workload = {
+  name : string;
+  batch : int;
+  config : string;  (** Table 2 "other configuration" column *)
+  build : scale -> Graph.t;
+}
+
+let resnet50 =
+  {
+    name = "ResNet-50";
+    batch = 64;
+    config = "image-size=224";
+    build =
+      (function
+      | Full -> Resnet.resnet50 ~batch:64 ~image:224 ()
+      | Quick -> Resnet.build ~batch:64 ~image:64 ~blocks:[ 1; 1; 1; 1 ] ());
+  }
+
+let bert =
+  {
+    name = "BERT-base";
+    batch = 32;
+    config = "sequence-length=512";
+    build =
+      (function
+      | Full -> Transformer.build_lm (Transformer.bert_base ())
+      | Quick ->
+          Transformer.build_lm
+            (Transformer.bert_base ~seq_len:128 ~layers:2 ~vocab:2048 ()));
+  }
+
+let vit =
+  {
+    name = "ViT-base";
+    batch = 64;
+    config = "image-size=224, patch-size=16";
+    build =
+      (function
+      | Full ->
+          Transformer.build_vit ~image:224 ~patch:16 (Transformer.vit_base ())
+      | Quick ->
+          Transformer.build_vit ~image:128 ~patch:16
+            (Transformer.vit_base ~image:128 ~patch:16 ~layers:2 ()));
+  }
+
+let unet =
+  {
+    name = "UNet";
+    batch = 32;
+    config = "image-size=256";
+    build =
+      (function
+      | Full -> Unet.build_unet ~batch:32 ~image:256 ~base:64 ~depth:4 ()
+      | Quick -> Unet.build_unet ~batch:32 ~image:64 ~base:16 ~depth:3 ());
+  }
+
+let unetpp =
+  {
+    name = "UNet++";
+    batch = 16;
+    config = "image-size=256";
+    build =
+      (function
+      | Full -> Unet.build_unetpp ~batch:16 ~image:256 ~base:32 ~depth:4 ()
+      | Quick -> Unet.build_unetpp ~batch:16 ~image:64 ~base:8 ~depth:3 ());
+  }
+
+let gpt_neo =
+  {
+    name = "GPT-Neo";
+    batch = 32;
+    config = "sequence-length=512";
+    build =
+      (function
+      | Full -> Transformer.build_lm (Transformer.gpt_neo_1_3b ())
+      | Quick ->
+          Transformer.build_lm
+            (Transformer.gpt_neo_1_3b ~seq_len:128 ~layers:2 ~vocab:4096 ()));
+  }
+
+let btlm =
+  {
+    name = "BTLM";
+    batch = 32;
+    config = "sequence-length=512";
+    build =
+      (function
+      | Full -> Transformer.build_lm (Transformer.btlm_3b ())
+      | Quick ->
+          Transformer.build_lm
+            (Transformer.btlm_3b ~seq_len:128 ~layers:2 ~vocab:4096 ()));
+  }
+
+let all = [ resnet50; bert; vit; unet; unetpp; gpt_neo; btlm ]
+
+let find name =
+  match
+    List.find_opt
+      (fun w -> String.lowercase_ascii w.name = String.lowercase_ascii name)
+      all
+  with
+  | Some w -> w
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Zoo.find: unknown workload %s (expected one of %s)"
+           name
+           (String.concat ", " (List.map (fun w -> w.name) all)))

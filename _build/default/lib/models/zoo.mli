@@ -1,0 +1,28 @@
+(** The paper's evaluation workloads (Table 2), buildable at [Full]
+    (paper-scale) or [Quick] (depth/resolution-reduced, same per-layer
+    structure) scale. *)
+
+open Magis_ir
+
+type scale = Quick | Full
+
+type workload = {
+  name : string;
+  batch : int;
+  config : string;  (** the Table 2 "other configuration" column *)
+  build : scale -> Graph.t;
+}
+
+val resnet50 : workload
+val bert : workload
+val vit : workload
+val unet : workload
+val unetpp : workload
+val gpt_neo : workload
+val btlm : workload
+
+(** All seven, in Table 2 order. *)
+val all : workload list
+
+(** Case-insensitive lookup; raises [Invalid_argument] on unknown names. *)
+val find : string -> workload

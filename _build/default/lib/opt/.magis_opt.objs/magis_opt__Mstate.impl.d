@@ -1,0 +1,1 @@
+lib/opt/mstate.ml: Fmt Ftree Graph Lifetime Magis_cost Magis_ftree Magis_ir Magis_sched Op_cost Reorder Simulator Util

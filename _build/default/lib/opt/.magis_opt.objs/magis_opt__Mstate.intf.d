@@ -1,0 +1,1 @@
+lib/opt/mstate.mli: Format Ftree Graph Magis_cost Magis_ftree Magis_ir Op_cost Util

@@ -1,0 +1,1 @@
+lib/opt/search.mli: Graph Magis_cost Magis_ir Mstate Op_cost

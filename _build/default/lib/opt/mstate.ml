@@ -1,0 +1,59 @@
+(** M-State: the optimization state of MAGIS (§3).
+
+    Bundles the computation graph, the fission hierarchy tree, the best
+    schedule found for this graph, and the simulation result (peak memory,
+    latency).  The fission tree is *virtual*: the graph is unchanged; the
+    simulator accounts for enabled fissions through {!Ftree.accounting}. *)
+
+open Magis_ir
+open Magis_cost
+open Magis_ftree
+open Magis_sched
+module Int_set = Util.Int_set
+
+type t = {
+  graph : Graph.t;
+  ftree : Ftree.t;
+  schedule : int list;
+  peak_mem : int;  (** device bytes at the memory peak *)
+  latency : float;  (** simulated seconds per iteration *)
+  hotspots : Int_set.t;
+  ftree_stale : bool;  (** graph changed since the F-Tree was built *)
+}
+
+(** Simulate [schedule] on [graph] under the fission accounting of
+    [ftree] and package the result. *)
+let evaluate ?(ftree_stale = false) (cache : Op_cost.t) (graph : Graph.t)
+    (ftree : Ftree.t) (schedule : int list) : t =
+  let acc = Ftree.accounting cache graph ftree in
+  let res =
+    Simulator.run ~size_of:acc.size_of ~cost_of:acc.cost_of cache graph
+      schedule
+  in
+  {
+    graph;
+    ftree;
+    schedule;
+    peak_mem = res.peak_mem;
+    latency = res.latency +. acc.extra_latency;
+    hotspots = Lifetime.hotspots res.analysis;
+    ftree_stale;
+  }
+
+(** Initial state: schedule the input graph, analyze it, build the F-Tree
+    (Algorithm 1). *)
+let init ?(max_level = 4) ?(sched_states = 4_000) (cache : Op_cost.t)
+    (graph : Graph.t) : t =
+  let schedule = Reorder.schedule ~max_states:sched_states graph in
+  let pre = evaluate cache graph Ftree.empty schedule in
+  let ftree = Ftree.construct ~max_level graph ~hotspots:pre.hotspots in
+  { pre with ftree }
+
+(** Fraction of device memory relative to a baseline (for reporting). *)
+let memory_ratio t ~baseline = float_of_int t.peak_mem /. float_of_int baseline
+
+let pp ppf t =
+  Fmt.pf ppf "mstate(n=%d, peak=%.1fMB, lat=%.2fms, ftree=%d)"
+    (Graph.n_nodes t.graph)
+    (float_of_int t.peak_mem /. 1e6)
+    (t.latency *. 1e3) (Ftree.n_entries t.ftree)

@@ -1,0 +1,27 @@
+(** M-State (§3): the optimizer's search state — computation graph,
+    fission hierarchy tree, best schedule and simulation result. *)
+
+open Magis_ir
+open Magis_cost
+open Magis_ftree
+module Int_set = Util.Int_set
+
+type t = {
+  graph : Graph.t;
+  ftree : Ftree.t;
+  schedule : int list;
+  peak_mem : int;  (** device bytes at the memory peak *)
+  latency : float;  (** simulated seconds per iteration *)
+  hotspots : Int_set.t;
+  ftree_stale : bool;  (** graph changed since the F-Tree was built *)
+}
+
+(** Simulate [schedule] under the tree's fission accounting. *)
+val evaluate :
+  ?ftree_stale:bool -> Op_cost.t -> Graph.t -> Ftree.t -> int list -> t
+
+(** Initial state: schedule, analyze, build the F-Tree (Algorithm 1). *)
+val init : ?max_level:int -> ?sched_states:int -> Op_cost.t -> Graph.t -> t
+
+val memory_ratio : t -> baseline:int -> float
+val pp : Format.formatter -> t -> unit

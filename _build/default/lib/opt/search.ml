@@ -1,0 +1,379 @@
+(** Top-level search (Algorithm 3 of the paper).
+
+    A greedy best-first search over M-States: a priority queue ordered by
+    [BetterThan] (lexicographic on (constrained objective, other
+    objective)), Weisfeiler-Lehman hashing to skip duplicate graphs,
+    F-Tree refresh after graph rewrites, and incremental scheduling
+    (Algorithm 2) after every transformation.
+
+    Two modes: minimize latency under a memory limit, or minimize peak
+    memory under a latency limit.  Per-phase time accounting reproduces
+    the Fig. 15 breakdown; the history of best results over elapsed time
+    reproduces the Fig. 13 curves. *)
+
+open Magis_ir
+open Magis_cost
+open Magis_ftree
+open Magis_rules
+module Int_set = Util.Int_set
+
+type mode =
+  | Min_latency of { mem_limit : int }
+      (** optimize latency, peak memory must stay below the limit *)
+  | Min_memory of { lat_limit : float }
+      (** optimize peak memory, latency must stay below the limit *)
+
+type ablation = {
+  use_ftree_heuristic : bool;  (** false = "naïve-fission" of Fig. 13 *)
+  restrict_sched_rules : bool;  (** false = "naïve-sch-rule" of Fig. 13 *)
+  max_level : int;  (** F-Tree max level L *)
+}
+
+let default_ablation =
+  { use_ftree_heuristic = true; restrict_sched_rules = true; max_level = 4 }
+
+type stats = {
+  mutable n_transform : int;
+  mutable t_transform : float;
+  mutable n_sched : int;
+  mutable t_sched : float;
+  mutable n_simul : int;
+  mutable t_simul : float;
+  mutable n_hash : int;
+  mutable t_hash : float;
+  mutable n_filtered : int;
+  mutable iterations : int;
+}
+
+let fresh_stats () =
+  {
+    n_transform = 0;
+    t_transform = 0.0;
+    n_sched = 0;
+    t_sched = 0.0;
+    n_simul = 0;
+    t_simul = 0.0;
+    n_hash = 0;
+    t_hash = 0.0;
+    n_filtered = 0;
+    iterations = 0;
+  }
+
+type result = {
+  best : Mstate.t;
+  initial : Mstate.t;
+  stats : stats;
+  history : (float * int * float) list;
+      (** (elapsed seconds, best peak bytes, best latency) after each
+          improvement *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Ordering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** BetterThan of Algorithm 3: compare the constrained objective clamped
+    at the limit first, the free objective second.  [delta] relaxes the
+    right-hand side (the paper's δ = 1.1 queue-admission slack). *)
+let key (mode : mode) (s : Mstate.t) : float * float =
+  match mode with
+  | Min_latency { mem_limit } ->
+      (float_of_int (max s.peak_mem mem_limit), s.latency)
+  | Min_memory { lat_limit } ->
+      (Float.max s.latency lat_limit, float_of_int s.peak_mem)
+
+let better_than (mode : mode) ?(delta = 1.0) (a : Mstate.t) (b : Mstate.t) :
+    bool =
+  let ka1, ka2 = key mode a and kb1, kb2 = key mode b in
+  (ka1, ka2) < (delta *. kb1, delta *. kb2)
+
+module Pq = Map.Make (struct
+  type t = float * float
+
+  let compare = compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Neighbor generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  ablation : ablation;
+  sched_states : int;  (** DP state budget per scheduling call *)
+  max_per_rule : int;
+  time_budget : float;  (** seconds *)
+  max_iterations : int;
+  diversify_pops : bool;
+      (** every few pops, take a random queue bucket instead of the best
+          (escapes local optima created by aggressive early rewrites) *)
+  use_sweep_rules : bool;  (** compound swap/remat rules *)
+}
+
+let default_config =
+  {
+    ablation = default_ablation;
+    sched_states = 0;
+    max_per_rule = 6;
+    time_budget = 10.0;
+    max_iterations = max_int;
+    diversify_pops = true;
+    use_sweep_rules = true;
+  }
+
+let timed _stats fld_t fld_n f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  fld_t dt;
+  fld_n ();
+  r
+
+type proposal = {
+  p_graph : Graph.t;
+  p_ftree : Ftree.t;
+  p_mutated : Int_set.t;  (** old nodes affected, for incremental sched *)
+  p_stale : bool;
+}
+
+(** Proposals reached by F-Tree mutations: the graph is unchanged, the
+    virtual fission state moves. *)
+let ftree_proposals _cfg stats (s : Mstate.t) : proposal list =
+  let muts =
+    timed stats
+      (fun dt -> stats.t_transform <- stats.t_transform +. dt)
+      (fun () -> ())
+      (fun () -> Ftree.mutations s.graph s.ftree)
+  in
+  List.filter_map
+    (fun m ->
+      stats.n_transform <- stats.n_transform + 1;
+      match Ftree.apply s.graph s.ftree m with
+      | None -> None
+      | Some ftree' ->
+          let affected =
+            match m with
+            | Ftree.Enable i | Ftree.Disable i | Ftree.Mutate i ->
+                Fission.members (Ftree.fission_at ftree' i)
+            | Ftree.Lift i ->
+                let e = Ftree.entry ftree' i in
+                if e.parent >= 0 then
+                  Fission.members (Ftree.fission_at ftree' e.parent)
+                else Fission.members (Ftree.fission_at ftree' i)
+          in
+          Some
+            { p_graph = s.graph; p_ftree = ftree'; p_mutated = affected;
+              p_stale = s.ftree_stale })
+    muts
+
+(** Proposals reached by graph rewrites (scheduling-based and TASO rules). *)
+let rewrite_proposals (cfg : config) stats (s : Mstate.t) : proposal list =
+  let pos = Hashtbl.create (List.length s.schedule) in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) s.schedule;
+  let ctx =
+    {
+      Rule.hotspots = s.hotspots;
+      frozen = Ftree.frozen_region s.ftree;
+      schedule_pos = (fun v -> Hashtbl.find_opt pos v);
+      max_per_rule = cfg.max_per_rule;
+      restrict_to_hotspots = cfg.ablation.restrict_sched_rules;
+    }
+  in
+  let rules =
+    (if cfg.use_sweep_rules then Sched_rules.all else Sched_rules.basic)
+    @ Taso_rules.all
+  in
+  List.concat_map
+    (fun (rule : Rule.t) ->
+      let rewrites =
+        timed stats
+          (fun dt -> stats.t_transform <- stats.t_transform +. dt)
+          (fun () -> ())
+          (fun () -> rule.apply ctx s.graph)
+      in
+      List.map
+        (fun (rw : Rule.rewrite) ->
+          stats.n_transform <- stats.n_transform + 1;
+          { p_graph = rw.graph; p_ftree = Ftree.prune rw.graph s.ftree;
+            p_mutated = rw.touched_old; p_stale = true })
+        rewrites)
+    rules
+
+(** Evaluate a proposal: incremental reschedule + simulation. *)
+let evaluate_proposal (cfg : config) (cache : Op_cost.t) stats
+    (s : Mstate.t) (p : proposal) : Mstate.t =
+  let acc = Ftree.accounting cache p.p_graph p.p_ftree in
+  let schedule, _ =
+    timed stats
+      (fun dt -> stats.t_sched <- stats.t_sched +. dt)
+      (fun () -> stats.n_sched <- stats.n_sched + 1)
+      (fun () ->
+        Magis_sched.Incremental.reschedule ~max_states:cfg.sched_states
+          ~old_graph:s.graph ~new_graph:p.p_graph ~old_schedule:s.schedule
+          ~mutated_old:p.p_mutated ~size_of:acc.size_of ())
+  in
+  timed stats
+    (fun dt -> stats.t_simul <- stats.t_simul +. dt)
+    (fun () -> stats.n_simul <- stats.n_simul + 1)
+    (fun () ->
+      Mstate.evaluate ~ftree_stale:p.p_stale cache p.p_graph p.p_ftree
+        schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let state_hash stats (s : Mstate.t) : int64 =
+  let t0 = Unix.gettimeofday () in
+  let h =
+    Util.hash_combine (Wl_hash.hash s.graph) (Ftree.fingerprint s.ftree)
+  in
+  stats.t_hash <- stats.t_hash +. (Unix.gettimeofday () -. t0);
+  stats.n_hash <- stats.n_hash + 1;
+  h
+
+(** Run the search.  Returns the best state found within the time budget,
+    the initial state, per-phase statistics and the improvement history. *)
+let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
+    (graph : Graph.t) : result =
+  let stats = fresh_stats () in
+  let t_start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t_start in
+  let init =
+    let s = Mstate.init ~max_level:config.ablation.max_level
+        ~sched_states:config.sched_states cache graph
+    in
+    if config.ablation.use_ftree_heuristic then s
+    else { s with ftree = Ftree.construct_naive graph }
+  in
+  let best = ref init in
+  let history = ref [ (elapsed (), init.peak_mem, init.latency) ] in
+  let seen = Hashtbl.create 1024 in
+  Hashtbl.replace seen (state_hash stats init) ();
+  let q = ref (Pq.singleton (key mode init) [ init ]) in
+  let rng = Random.State.make [| 0x4d41 |] in
+  let pops = ref 0 in
+  let take k l =
+    match l with
+    | [ s ] ->
+        q := Pq.remove k !q;
+        Some s
+    | s :: rest ->
+        q := Pq.add k rest !q;
+        Some s
+    | [] -> None
+  in
+  (* Mostly greedy best-first; every few pops take a random bucket instead,
+     so an early aggressive rewrite cannot permanently starve alternative
+     trade-off paths (e.g. the gradual F-Tree ladder). *)
+  let pop () =
+    incr pops;
+    if config.diversify_pops && !pops mod 4 = 0 && Pq.cardinal !q > 1 then begin
+      let n = Pq.cardinal !q in
+      let idx = Random.State.int rng n in
+      let chosen = ref None in
+      let i = ref 0 in
+      Pq.iter
+        (fun k l ->
+          if !i = idx && !chosen = None then chosen := Some (k, l);
+          incr i)
+        !q;
+      match !chosen with
+      | Some (k, l) -> take k l
+      | None -> (
+          match Pq.min_binding_opt !q with
+          | None -> None
+          | Some (k, l) -> take k l)
+    end
+    else
+      match Pq.min_binding_opt !q with
+      | None -> None
+      | Some (k, l) -> take k l
+  in
+  let push s = q := Pq.update (key mode s) (function
+      | None -> Some [ s ]
+      | Some l -> Some (s :: l)) !q
+  in
+  (try
+     while elapsed () < config.time_budget
+           && stats.iterations < config.max_iterations do
+       match pop () with
+       | None -> raise Exit
+       | Some s ->
+           stats.iterations <- stats.iterations + 1;
+           if Sys.getenv_opt "MAGIS_TRACE" <> None then
+             Fmt.epr "[%d] pop mem=%.1fMB lat=%.2fms entries=%d enabled=%d stale=%b@."
+               stats.iterations
+               (float_of_int s.peak_mem /. 1e6)
+               (s.latency *. 1e3)
+               (Ftree.n_entries s.ftree)
+               (List.length (Ftree.enabled_indices s.ftree))
+               s.ftree_stale;
+           (* refresh a stale F-Tree (Algorithm 3 line 13-14) *)
+           let s =
+             if s.ftree_stale && config.ablation.use_ftree_heuristic then
+               let ftree =
+                 Ftree.refresh ~max_level:config.ablation.max_level s.graph
+                   ~old_tree:s.ftree ~hotspots:s.hotspots
+               in
+               { s with ftree; ftree_stale = false }
+             else { s with ftree_stale = false }
+           in
+           let proposals =
+             (if Ftree.n_entries s.ftree > 0 then
+                ftree_proposals config stats s
+              else [])
+             @ rewrite_proposals config stats s
+           in
+           (* hash test FIRST: duplicate graphs skip scheduling and
+              simulation entirely (the Fig. 15 "Filtered" column) *)
+           List.iter
+             (fun (p : proposal) ->
+               let h =
+                 let t0 = Unix.gettimeofday () in
+                 let h =
+                   Util.hash_combine (Wl_hash.hash p.p_graph)
+                     (Ftree.fingerprint p.p_ftree)
+                 in
+                 stats.t_hash <- stats.t_hash +. (Unix.gettimeofday () -. t0);
+                 stats.n_hash <- stats.n_hash + 1;
+                 h
+               in
+               if Hashtbl.mem seen h then
+                 stats.n_filtered <- stats.n_filtered + 1
+               else begin
+                 Hashtbl.replace seen h ();
+                 let s' = evaluate_proposal config cache stats s p in
+                 if better_than mode s' !best then begin
+                   best := s';
+                   history :=
+                     (elapsed (), s'.peak_mem, s'.latency) :: !history
+                 end;
+                 if better_than mode ~delta:1.1 s' !best then push s'
+               end)
+             proposals
+     done
+   with Exit -> ());
+  { best = !best; initial = init; stats; history = List.rev !history }
+
+(* ------------------------------------------------------------------ *)
+(* Convenience wrappers                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Optimize peak memory subject to a latency-overhead bound relative to
+    the unoptimized graph (e.g. [0.10] allows 10% overhead). *)
+let optimize_memory ?config (cache : Op_cost.t) ~(overhead : float)
+    (graph : Graph.t) : result =
+  let base = Simulator.run cache graph (Graph.topo_order graph) in
+  run ?config cache
+    (Min_memory { lat_limit = base.latency *. (1.0 +. overhead) })
+    graph
+
+(** Optimize latency subject to a peak-memory bound relative to the
+    unoptimized graph (e.g. [0.4] caps memory at 40%). *)
+let optimize_latency ?config (cache : Op_cost.t) ~(mem_ratio : float)
+    (graph : Graph.t) : result =
+  let base = Simulator.run cache graph (Graph.topo_order graph) in
+  run ?config cache
+    (Min_latency
+       { mem_limit = int_of_float (float_of_int base.peak_mem *. mem_ratio) })
+    graph

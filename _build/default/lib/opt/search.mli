@@ -1,0 +1,73 @@
+(** Top-level search (Algorithm 3): best-first exploration of M-States
+    with BetterThan ordering, WL-hash deduplication, F-Tree refresh and
+    incremental scheduling after every transformation. *)
+
+open Magis_ir
+open Magis_cost
+
+type mode =
+  | Min_latency of { mem_limit : int }
+      (** optimize latency; peak memory must stay below the limit *)
+  | Min_memory of { lat_limit : float }
+      (** optimize peak memory; latency must stay below the limit *)
+
+type ablation = {
+  use_ftree_heuristic : bool;  (** false = "naïve-fission" (Fig. 13) *)
+  restrict_sched_rules : bool;  (** false = "naïve-sch-rule" (Fig. 13) *)
+  max_level : int;  (** the F-Tree max level L *)
+}
+
+val default_ablation : ablation
+
+type stats = {
+  mutable n_transform : int;
+  mutable t_transform : float;
+  mutable n_sched : int;
+  mutable t_sched : float;
+  mutable n_simul : int;
+  mutable t_simul : float;
+  mutable n_hash : int;
+  mutable t_hash : float;
+  mutable n_filtered : int;  (** duplicate graphs skipped by hash test *)
+  mutable iterations : int;
+}
+
+type result = {
+  best : Mstate.t;
+  initial : Mstate.t;
+  stats : stats;
+  history : (float * int * float) list;
+      (** (elapsed seconds, peak bytes, latency) after each improvement *)
+}
+
+type config = {
+  ablation : ablation;
+  sched_states : int;  (** DP budget per scheduling call; 0 = greedy only *)
+  max_per_rule : int;
+  time_budget : float;  (** seconds *)
+  max_iterations : int;
+  diversify_pops : bool;
+      (** every few pops, take a random queue bucket instead of the best
+          (escapes local optima created by aggressive early rewrites) *)
+  use_sweep_rules : bool;  (** compound swap/remat rules *)
+}
+
+val default_config : config
+
+(** Comparison key of a state under the given mode. *)
+val key : mode -> Mstate.t -> float * float
+
+(** The Algorithm 3 BetterThan, with the paper's δ relaxation. *)
+val better_than : mode -> ?delta:float -> Mstate.t -> Mstate.t -> bool
+
+val run : ?config:config -> Op_cost.t -> mode -> Graph.t -> result
+
+(** Minimize memory with at most [overhead] extra latency relative to the
+    unoptimized graph (Fig. 9 mode). *)
+val optimize_memory :
+  ?config:config -> Op_cost.t -> overhead:float -> Graph.t -> result
+
+(** Minimize latency with peak memory at most [mem_ratio] of the
+    unoptimized peak (Fig. 10 mode). *)
+val optimize_latency :
+  ?config:config -> Op_cost.t -> mem_ratio:float -> Graph.t -> result

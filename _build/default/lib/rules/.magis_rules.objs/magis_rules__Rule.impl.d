@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Graph Magis_ir Util

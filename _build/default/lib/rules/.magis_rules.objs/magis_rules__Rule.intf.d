@@ -1,0 +1,1 @@
+lib/rules/rule.mli: Graph Magis_ir Util

@@ -1,0 +1,1 @@
+lib/rules/sched_rules.ml: Array Graph Hashtbl List Magis_ir Op Printf Rule Shape Util

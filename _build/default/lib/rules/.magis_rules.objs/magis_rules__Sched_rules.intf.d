@@ -1,0 +1,1 @@
+lib/rules/sched_rules.mli: Graph Magis_ir Rule

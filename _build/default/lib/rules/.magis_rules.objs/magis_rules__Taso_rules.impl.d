@@ -1,0 +1,1 @@
+lib/rules/taso_rules.ml: Array Fun Graph List Magis_ir Op Rule Shape Util

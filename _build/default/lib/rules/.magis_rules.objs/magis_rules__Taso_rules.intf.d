@@ -1,0 +1,1 @@
+lib/rules/taso_rules.mli: Rule

@@ -1,0 +1,308 @@
+(** Scheduling-based transformation rules (§5.2, Fig. 8).
+
+    Re-materialization and swapping are expressed as graph rewrites —
+    Store/Load are ordinary operators — so that the subsequent scheduling
+    phase only has to re-order.  Per the paper's heuristic, the generative
+    rules (Re-mat., Swapping) only target memory hot-spots; the reductive
+    duals (De-re-mat., De-swapping) always apply. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+let tensor_bytes g v = Shape.size_bytes (Graph.shape g v)
+
+(** Candidate hot tensors, largest first, excluding frozen/swap/input
+    nodes.  When [restrict_to_hotspots] is off (ablation), every tensor
+    with more than a threshold size qualifies. *)
+let hot_candidates (ctx : Rule.ctx) g =
+  (* Fission regions do not block swapping/re-materialization: inserting a
+     Store/Load or a re-computed copy rewires a region's *boundary* (the
+     new nodes stay outside the member set), and the F-Tree re-validates
+     enabled fissions after every rewrite ({!Magis_ftree.Ftree.prune}). *)
+  let _ = ctx.Rule.frozen in
+  let eligible v =
+    let n = Graph.node g v in
+    (not (Op.is_swap n.op))
+    && (not (Op.is_input n.op))
+    && Graph.out_degree g v >= 1
+  in
+  let pool =
+    if ctx.restrict_to_hotspots then Int_set.elements ctx.hotspots
+    else Graph.node_ids g
+  in
+  List.filter eligible pool
+  |> List.sort (fun a b -> compare (tensor_bytes g b) (tensor_bytes g a))
+
+(** Schedule distance between a producer and a consumer — swapping only
+    pays off when the gap is large. *)
+let distance (ctx : Rule.ctx) u v =
+  match (ctx.schedule_pos u, ctx.schedule_pos v) with
+  | Some a, Some b -> abs (b - a)
+  | _ -> max_int
+
+(* ------------------------------------------------------------------ *)
+(* Swapping                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Fig. 8 (e): insert Store/Load between a producer and its most distant
+    consumer, so the tensor's device copy can be freed in between. *)
+let swapping : Rule.t =
+  {
+    name = "swap";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          List.concat_map
+            (fun v ->
+              (* pick the most distant eligible consumer *)
+              let consumers =
+                Graph.suc g v
+                |> List.filter (fun c -> not (Op.is_swap (Graph.op g c)))
+                |> List.sort (fun a b ->
+                       compare (distance ctx v b) (distance ctx v a))
+              in
+              match consumers with
+              | c :: _ when distance ctx v c > 3 ->
+                  let g, store = Graph.add g Op.Store [ v ] in
+                  let g, load = Graph.add g Op.Load [ store ] in
+                  let g = Graph.replace_input g ~node_id:c ~old_src:v ~new_src:load in
+                  [ { Rule.rule = "swap"; graph = g;
+                      touched_old = Int_set.of_list [ v; c ] } ]
+              | _ -> [])
+            (hot_candidates ctx g)
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(** Fig. 8 (f): remove a Store/Load pair, reconnecting the consumer
+    directly. *)
+let de_swapping : Rule.t =
+  {
+    name = "de-swap";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          Graph.fold
+            (fun n acc ->
+              match n.op with
+              | Op.Load ->
+                  let store = n.inputs.(0) in
+                  let src = (Graph.node g store).inputs.(0) in
+                  if Graph.out_degree g store = 1 then
+                    let g = Graph.redirect g ~from_:n.id ~to_:src in
+                    let g = Graph.remove g n.id in
+                    let g = Graph.remove g store in
+                    { Rule.rule = "de-swap"; graph = g;
+                      touched_old = Int_set.of_list [ n.id; store; src ] }
+                    :: acc
+                  else acc
+              | _ -> acc)
+            g []
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Re-materialization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Fig. 8 (a)(b): give one consumer of a multi-consumer operator its own
+    re-computed copy, so the original tensor can die earlier. *)
+let rematerialization : Rule.t =
+  {
+    name = "remat";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          List.concat_map
+            (fun v ->
+              let n = Graph.node g v in
+              if Op.is_input n.op || Graph.out_degree g v < 2 then []
+              else
+                (* detach the most distant consumer onto a re-computed copy *)
+                let consumers =
+                  Graph.suc g v
+                  |> List.sort (fun a b ->
+                         compare (distance ctx v b) (distance ctx v a))
+                in
+                match consumers with
+                | c :: _ when distance ctx v c > 3 ->
+                    let g, copy =
+                      Graph.add ~label:(n.label ^ "'") g n.op
+                        (Array.to_list n.inputs)
+                    in
+                    let g =
+                      Graph.replace_input g ~node_id:c ~old_src:v ~new_src:copy
+                    in
+                    [ { Rule.rule = "remat"; graph = g;
+                        touched_old = Int_set.of_list [ v; c ] } ]
+                | _ -> [])
+            (hot_candidates ctx g)
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(** Fig. 8 (c)(d): merge two same-op same-input operators back into one. *)
+let de_rematerialization : Rule.t =
+  {
+    name = "de-remat";
+    apply =
+      (fun ctx g ->
+        (* group nodes by (op fingerprint, inputs) *)
+        let tbl = Hashtbl.create 64 in
+        Graph.iter
+          (fun n ->
+            if not (Op.is_input n.op) then
+              let key = (Op.name n.op, Array.to_list n.inputs) in
+              Hashtbl.replace tbl key
+                (n.id :: (try Hashtbl.find tbl key with Not_found -> [])))
+          g;
+        let rewrites =
+          Hashtbl.fold
+            (fun _ ids acc ->
+              match List.sort compare ids with
+              | a :: b :: _ when Rule.unfrozen ctx a && Rule.unfrozen ctx b ->
+                  let g = Graph.redirect g ~from_:b ~to_:a in
+                  let g = Graph.remove g b in
+                  { Rule.rule = "de-remat"; graph = g;
+                    touched_old = Int_set.of_list [ a; b ] }
+                  :: acc
+              | _ -> acc)
+            tbl []
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compound (sweep) rules                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Producer is memory-bound: recomputing it is almost free (elementwise,
+    normalization, view ops — the tensors activation checkpointing always
+    recomputes). *)
+let cheap_to_recompute g v =
+  let n = Graph.node g v in
+  let ins = Array.map (fun i -> Graph.shape g i) n.inputs in
+  let fl = Op.flops n.op ins n.shape in
+  let by = Op.bytes_moved n.op ins n.shape in
+  by > 0.0 && fl /. by < 16.0
+
+(** One rewrite that re-materializes *every* cheap hot tensor at once:
+    each distant consumer gets a recomputed copy.  A single application
+    performs what would otherwise take dozens of single-tensor steps —
+    the granularity at which checkpointing decisions are really taken. *)
+let sweep_rematerialization : Rule.t =
+  {
+    name = "sweep-remat";
+    apply =
+      (fun ctx g0 ->
+        let targets =
+          List.filter
+            (fun v ->
+              cheap_to_recompute g0 v
+              && (not (Op.is_view (Graph.op g0 v)))
+              && Graph.out_degree g0 v >= 1)
+            (hot_candidates ctx g0)
+        in
+        if targets = [] then []
+        else begin
+          (* Copies consume copies: recompute whole cheap sub-chains,
+             anchored on the expensive tensors that stay resident — the
+             structure activation checkpointing produces.  Without the
+             chaining, every copy would pin its original operands and no
+             memory would be freed. *)
+          let target_set = Int_set.of_list targets in
+          let in_topo =
+            List.filter (fun v -> Int_set.mem v target_set) (Graph.topo_order g0)
+          in
+          let g = ref g0 and touched = ref Int_set.empty in
+          let copies = Hashtbl.create 16 in
+          List.iter
+            (fun v ->
+              let n = Graph.node g0 v in
+              let far =
+                List.filter (fun c -> distance ctx v c > 8) (Graph.suc g0 v)
+              in
+              if far <> [] then begin
+                let mapped u =
+                  match Hashtbl.find_opt copies u with
+                  | Some c -> c
+                  | None -> u
+                in
+                let g', copy =
+                  Graph.add ~label:(n.label ^ "'") !g n.op
+                    (List.map mapped (Array.to_list n.inputs))
+                in
+                g := g';
+                Hashtbl.replace copies v copy;
+                List.iter
+                  (fun c ->
+                    g := Graph.replace_input !g ~node_id:c ~old_src:v ~new_src:copy)
+                  far;
+                touched :=
+                  Int_set.add v (Int_set.union !touched (Int_set.of_list far))
+              end)
+            in_topo;
+          if Int_set.is_empty !touched then []
+          else [ { Rule.rule = "sweep-remat"; graph = !g; touched_old = !touched } ]
+        end);
+  }
+
+(** Swap the [k] largest hot tensors in one rewrite, for a few values of
+    [k] — the coarse-grained counterpart of {!swapping}. *)
+let sweep_swapping : Rule.t =
+  {
+    name = "sweep-swap";
+    apply =
+      (fun ctx g0 ->
+        let candidates =
+          List.filter
+            (fun v ->
+              List.exists
+                (fun c ->
+                  distance ctx v c > 8 && not (Op.is_swap (Graph.op g0 c)))
+                (Graph.suc g0 v))
+            (hot_candidates ctx g0)
+        in
+        List.filter_map
+          (fun k ->
+            let chosen = Util.take k candidates in
+            if List.length chosen < k then None
+            else
+              let g = ref g0 and touched = ref Int_set.empty in
+              List.iter
+                (fun v ->
+                  let far =
+                    List.filter
+                      (fun c ->
+                        distance ctx v c > 8
+                        && not (Op.is_swap (Graph.op g0 c)))
+                      (Graph.suc g0 v)
+                  in
+                  match
+                    List.sort
+                      (fun a b -> compare (distance ctx v b) (distance ctx v a))
+                      far
+                  with
+                  | [] -> ()
+                  | c :: _ ->
+                      let g', store = Graph.add !g Op.Store [ v ] in
+                      let g', load = Graph.add g' Op.Load [ store ] in
+                      g :=
+                        Graph.replace_input g' ~node_id:c ~old_src:v
+                          ~new_src:load;
+                      touched := Int_set.add v (Int_set.add c !touched))
+                chosen;
+              if Int_set.is_empty !touched then None
+              else
+                Some
+                  { Rule.rule = Printf.sprintf "sweep-swap(%d)" k;
+                    graph = !g; touched_old = !touched })
+          [ 2; 4; 8 ]);
+  }
+
+(** The paper's four scheduling-based rules (Fig. 8). *)
+let basic = [ swapping; de_swapping; rematerialization; de_rematerialization ]
+
+(** Basic rules plus the compound sweep rules. *)
+let all = basic @ [ sweep_rematerialization; sweep_swapping ]

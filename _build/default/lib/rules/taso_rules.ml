@@ -1,0 +1,265 @@
+(** TASO-style transformation rules (§5, Fig. 1 (a)(b)).
+
+    Aggregation transformations (A-Trans) merge parallel operators that
+    share an input into one bigger operator — better hardware utilization,
+    temporarily higher memory.  Interim transformations (I-Trans) are
+    algebraic rewrites that enable other transformations or remove
+    redundant data movement. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+(* ------------------------------------------------------------------ *)
+(* A-Trans: merge parallel Dense / Matmul / Conv sharing an input      *)
+(* ------------------------------------------------------------------ *)
+
+(** Siblings of [x]: consumers with the same mergeable operator kind that
+    take [x] as their first operand. *)
+let mergeable_siblings ctx g x =
+  let same_kind a b =
+    match (a, b) with
+    | Op.Dense { trans_w = ta }, Op.Dense { trans_w = tb } -> ta = tb
+    | Op.Matmul { trans_a = a1; trans_b = b1 }, Op.Matmul { trans_a = a2; trans_b = b2 }
+      ->
+        a1 = a2 && b1 = b2
+    | Op.Conv2d a, Op.Conv2d b -> a = b
+    | _ -> false
+  in
+  let consumers =
+    Graph.suc g x
+    |> List.filter (fun c ->
+           Rule.unfrozen ctx c
+           &&
+           let n = Graph.node g c in
+           Array.length n.inputs = 2
+           && n.inputs.(0) = x
+           && (match n.op with
+              | Op.Dense { trans_w = false } | Op.Matmul { trans_a = false; trans_b = false }
+              | Op.Conv2d _ ->
+                  true
+              | _ -> false))
+  in
+  (* group by kind *)
+  let rec group = function
+    | [] -> []
+    | c :: rest ->
+        let kind = Graph.op g c in
+        let same, other =
+          List.partition (fun d -> same_kind kind (Graph.op g d)) rest
+        in
+        (c :: same) :: group other
+  in
+  List.filter (fun l -> List.length l >= 2) (group consumers)
+
+(** Merge a group of parallel ops [y_i = op(x, w_i)] into
+    [y = op(x, concat(w_i))] followed by slices (Fig. 1 (a) — the QKV
+    aggregation).  The concat axis is the output-feature axis of the
+    weight. *)
+let merge_group g x group =
+  let first = Graph.node g (List.hd group) in
+  let weights = List.map (fun c -> (Graph.node g c).inputs.(1)) group in
+  let axis, out_axis =
+    match first.op with
+    | Op.Dense { trans_w = false } -> (1, Shape.rank first.shape - 1)
+    | Op.Matmul _ -> (1, 1)
+    | Op.Conv2d _ -> (0, 1)
+    | _ -> invalid_arg "merge_group: not mergeable"
+  in
+  let g, wcat = Graph.add g (Op.Concat axis) weights in
+  let g, merged = Graph.add g first.op [ x; wcat ] in
+  let g, _ =
+    List.fold_left
+      (fun (g, lo) c ->
+        let extent = Shape.dim (Graph.shape g (Graph.node g c).inputs.(1)) axis in
+        let g, sl =
+          Graph.add g
+            (Op.Slice { axis = out_axis; lo; hi = lo + extent })
+            [ merged ]
+        in
+        let g = Graph.redirect g ~from_:c ~to_:sl in
+        let g = Graph.remove g c in
+        (g, lo + extent))
+      (g, 0) group
+  in
+  g
+
+let merge_parallel : Rule.t =
+  {
+    name = "a-trans-merge";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          Graph.fold
+            (fun n acc ->
+              if Graph.out_degree g n.id < 2 then acc
+              else
+                List.fold_left
+                  (fun acc group ->
+                    match merge_group g n.id group with
+                    | g' ->
+                        {
+                          Rule.rule = "a-trans-merge";
+                          graph = g';
+                          touched_old = Int_set.of_list (n.id :: group);
+                        }
+                        :: acc
+                    | exception Invalid_argument _ -> acc)
+                  acc
+                  (mergeable_siblings ctx g n.id))
+            g []
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* I-Trans: algebraic clean-ups                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** concat(slice(x, 0..a), slice(x, a..b)) = slice(x, 0..b); a full cover
+    collapses to x itself. *)
+let concat_of_slices : Rule.t =
+  {
+    name = "i-trans-concat-slice";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          Graph.fold
+            (fun n acc ->
+              match n.op with
+              | Op.Concat axis ->
+                  let parts =
+                    Array.to_list n.inputs
+                    |> List.map (fun u ->
+                           match Graph.op g u with
+                           | Op.Slice { axis = a; lo; hi } when a = axis ->
+                               Some (u, (Graph.node g u).inputs.(0), lo, hi)
+                           | _ -> None)
+                  in
+                  if List.exists (( = ) None) parts then acc
+                  else
+                    let parts = List.filter_map Fun.id parts in
+                    let srcs =
+                      List.sort_uniq compare (List.map (fun (_, s, _, _) -> s) parts)
+                    in
+                    let contiguous =
+                      let rec chk = function
+                        | (_, _, _, h) :: ((_, _, lo, _) :: _ as rest) ->
+                            h = lo && chk rest
+                        | _ -> true
+                      in
+                      chk parts
+                    in
+                    if
+                      List.length srcs = 1 && contiguous
+                      && List.for_all (fun (u, _, _, _) -> Rule.unfrozen ctx u) parts
+                      && Rule.unfrozen ctx n.id
+                    then
+                      let src = List.hd srcs in
+                      let lo = match parts with (_, _, l, _) :: _ -> l | [] -> 0 in
+                      let hi =
+                        match List.rev parts with (_, _, _, h) :: _ -> h | [] -> 0
+                      in
+                      let full = Shape.dim (Graph.shape g src) axis in
+                      let g, repl =
+                        if lo = 0 && hi = full then (g, src)
+                        else Graph.add g (Op.Slice { axis; lo; hi }) [ src ]
+                      in
+                      if Shape.equal_dims (Graph.shape g repl) n.shape then
+                        let keep = Int_set.of_list (Graph.outputs g) in
+                        let g = Graph.redirect g ~from_:n.id ~to_:repl in
+                        let g = Graph.remove g n.id in
+                        let g = Graph.prune_dead ~keep g in
+                        {
+                          Rule.rule = "i-trans-concat-slice";
+                          graph = g;
+                          touched_old =
+                            Int_set.of_list
+                              (n.id :: List.map (fun (u, _, _, _) -> u) parts);
+                        }
+                        :: acc
+                      else acc
+                    else acc
+              | _ -> acc)
+            g []
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(** transpose(transpose(x)) with inverse permutations collapses to x. *)
+let transpose_pairs : Rule.t =
+  {
+    name = "i-trans-transpose";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          Graph.fold
+            (fun n acc ->
+              match n.op with
+              | Op.Transpose p2 -> (
+                  let u = n.inputs.(0) in
+                  match Graph.op g u with
+                  | Op.Transpose p1
+                    when Rule.unfrozen ctx n.id && Rule.unfrozen ctx u
+                         && Array.length p1 = Array.length p2
+                         && Array.for_all2 ( = )
+                              (Array.init (Array.length p1) (fun i -> p1.(p2.(i))))
+                              (Array.init (Array.length p1) Fun.id) ->
+                      let keep = Int_set.of_list (Graph.outputs g) in
+                      let src = (Graph.node g u).inputs.(0) in
+                      let g = Graph.redirect g ~from_:n.id ~to_:src in
+                      let g = Graph.remove g n.id in
+                      let g = Graph.prune_dead ~keep g in
+                      {
+                        Rule.rule = "i-trans-transpose";
+                        graph = g;
+                        touched_old = Int_set.of_list [ n.id; u ];
+                      }
+                      :: acc
+                  | _ -> acc)
+              | _ -> acc)
+            g []
+        in
+        Rule.cap ctx rewrites);
+  }
+
+(** add re-association: (a + b) + c -> a + (b + c), enabling different
+    lifetime orders for long residual chains. *)
+let add_reassociate : Rule.t =
+  {
+    name = "i-trans-add-assoc";
+    apply =
+      (fun ctx g ->
+        let rewrites =
+          Graph.fold
+            (fun n acc ->
+              match n.op with
+              | Op.Binary Op.Add -> (
+                  let l = n.inputs.(0) and r = n.inputs.(1) in
+                  match Graph.op g l with
+                  | Op.Binary Op.Add
+                    when Graph.out_degree g l = 1 && Rule.unfrozen ctx n.id
+                         && Rule.unfrozen ctx l ->
+                      let a = (Graph.node g l).inputs.(0) in
+                      let b = (Graph.node g l).inputs.(1) in
+                      let keep = Int_set.of_list (Graph.outputs g) in
+                      let g', bc = Graph.add g (Op.Binary Op.Add) [ b; r ] in
+                      let g', abc = Graph.add g' (Op.Binary Op.Add) [ a; bc ] in
+                      let g' = Graph.redirect g' ~from_:n.id ~to_:abc in
+                      let g' = Graph.remove g' n.id in
+                      let g' = Graph.prune_dead ~keep g' in
+                      {
+                        Rule.rule = "i-trans-add-assoc";
+                        graph = g';
+                        touched_old = Int_set.of_list [ n.id; l ];
+                      }
+                      :: acc
+                  | _ -> acc)
+              | _ -> acc)
+            g []
+        in
+        Rule.cap ctx rewrites);
+  }
+
+let a_trans = [ merge_parallel ]
+let i_trans = [ concat_of_slices; transpose_pairs; add_reassociate ]
+let all = a_trans @ i_trans

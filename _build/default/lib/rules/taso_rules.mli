@@ -1,0 +1,20 @@
+(** TASO-style transformation rules (§5, Fig. 1 (a)(b)): A-Trans merges
+    parallel operators sharing an input (the QKV aggregation); I-Trans are
+    algebraic clean-ups enabling other transformations. *)
+
+(** Merge parallel Dense/Matmul/Conv2d siblings into one operator followed
+    by slices. *)
+val merge_parallel : Rule.t
+
+(** concat(slice, slice) of one tensor collapses. *)
+val concat_of_slices : Rule.t
+
+(** transpose∘transpose with inverse permutations collapses. *)
+val transpose_pairs : Rule.t
+
+(** (a + b) + c -> a + (b + c). *)
+val add_reassociate : Rule.t
+
+val a_trans : Rule.t list
+val i_trans : Rule.t list
+val all : Rule.t list

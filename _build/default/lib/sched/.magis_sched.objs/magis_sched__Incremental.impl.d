@@ -1,0 +1,1 @@
+lib/sched/incremental.ml: Array Graph List Magis_ir Partition Reorder Util

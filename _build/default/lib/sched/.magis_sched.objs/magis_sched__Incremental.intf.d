@@ -1,0 +1,1 @@
+lib/sched/incremental.mli: Graph Magis_ir Util

@@ -1,0 +1,1 @@
+lib/sched/partition.ml: Array Graph Hashtbl List Magis_ir Op Util

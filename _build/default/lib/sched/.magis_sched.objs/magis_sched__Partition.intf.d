@@ -1,0 +1,1 @@
+lib/sched/partition.mli: Graph Magis_ir Util

@@ -1,0 +1,1 @@
+lib/sched/reorder.ml: Graph Hashtbl Int List Magis_cost Magis_ir Map Partition Util

@@ -1,0 +1,1 @@
+lib/sched/reorder.mli: Graph Magis_ir Util

@@ -1,0 +1,30 @@
+(** Incremental scheduling (Algorithm 2): after a transformation, only a
+    window of the previous schedule around the rewritten region is
+    re-scheduled; the window is widened to narrow-waist cut points using
+    the paper's empirical thresholds. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+type stats = {
+  interval : int * int;  (** [beg, end) window in the old schedule *)
+  rescheduled : int;  (** number of nodes actually rescheduled *)
+}
+
+(** The paper's [ExtendBound] (clamped to the schedule). *)
+val extend_bound : Graph.t -> int array -> int -> int -> int
+
+(** The paper's [GetRescheduleInterval]. *)
+val get_reschedule_interval : Graph.t -> int array -> int list -> int * int
+
+(** Splice a re-scheduled window into the old schedule; falls back to full
+    scheduling when splicing fails. *)
+val reschedule :
+  ?max_states:int ->
+  old_graph:Graph.t ->
+  new_graph:Graph.t ->
+  old_schedule:int list ->
+  mutated_old:Int_set.t ->
+  size_of:(int -> int) ->
+  unit ->
+  int list * stats

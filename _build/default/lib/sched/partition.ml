@@ -1,0 +1,127 @@
+(** Narrow-waist analysis and graph partitioning (§6.1 of the paper).
+
+    The narrow-waist value of a node [v] in graph [G] is
+    [nw(v) = |V(G)| - |anc(v)| - |des(v)| - 1] — the number of nodes
+    independent of [v].  A node with [nw(v) = 0] splits the scheduling
+    problem into two independent halves; the paper's [GraphPartition] cuts
+    each weakly-connected component at nodes with [nw(v) <= 1]. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+(** Is the output of [v] pinned (never freed): weights stay resident,
+    graph outputs live to the end.  Pinned tensors cross every schedule
+    boundary, so they are ignored when looking for cut points. *)
+let pinned (g : Graph.t) (v : int) =
+  let n = Graph.node g v in
+  Op.is_weight n.op
+  || (Int_set.is_empty (Graph.succ_set g v) && not (Op.is_input n.op))
+
+(** Narrow-waist value of [v] within the sub-graph induced by [members]
+    (defaults to the whole graph). *)
+let nw ?members (g : Graph.t) (v : int) : int =
+  let keep =
+    match members with
+    | None -> fun _ -> true
+    | Some s -> fun u -> Int_set.mem u s
+  in
+  let total =
+    match members with
+    | None -> Graph.n_nodes g
+    | Some s -> Int_set.cardinal s
+  in
+  let bfs step =
+    let rec go visited frontier =
+      match frontier with
+      | [] -> visited
+      | u :: rest ->
+          let nexts =
+            List.filter
+              (fun w -> keep w && not (Int_set.mem w visited))
+              (step u)
+          in
+          go
+            (List.fold_left (fun acc w -> Int_set.add w acc) visited nexts)
+            (nexts @ rest)
+    in
+    go Int_set.empty [ v ]
+  in
+  let anc = bfs (Graph.pre g) and des = bfs (Graph.suc g) in
+  total - Int_set.cardinal anc - Int_set.cardinal des - 1
+
+(** Partition the sub-graph induced by [members] into blocks that can be
+    scheduled independently and concatenated.  A cut is taken after
+    position [i] of a component's topological order when the dependence
+    frontier narrows to (at most) the node just executed — the linear-time
+    equivalent of cutting at narrow-waist nodes with [nw <= 1]: any
+    schedule must pass through such a point, so the blocks on either side
+    can be ordered independently.  Blocks are returned in a
+    dependency-compatible order.
+
+    [max_crossing] (default 1) is the number of live tensors a cut is
+    allowed to carry; larger values sequentialize more aggressively (used
+    by the POFO baseline's chainification). *)
+let partition ?(max_crossing = 1) (g : Graph.t) (members : Int_set.t) :
+    Int_set.t list =
+  let topo = Graph.topo_order g in
+  let topo_pos = Hashtbl.create (List.length topo) in
+  List.iteri (fun i v -> Hashtbl.replace topo_pos v i) topo;
+  let blocks =
+    List.concat_map
+      (fun comp ->
+        let ordered = List.filter (fun v -> Int_set.mem v comp) topo in
+        let n = List.length ordered in
+        let pos_in = Hashtbl.create n in
+        List.iteri (fun i v -> Hashtbl.replace pos_in v i) ordered;
+        (* last in-component consumer position of each node *)
+        let last_use = Hashtbl.create n in
+        List.iter
+          (fun v ->
+            let i = Hashtbl.find pos_in v in
+            let l =
+              List.fold_left
+                (fun acc s ->
+                  match Hashtbl.find_opt pos_in s with
+                  | Some j -> max acc j
+                  | None -> acc)
+                i (Graph.suc g v)
+            in
+            Hashtbl.replace last_use v l)
+          ordered;
+        (* sweep: number of tensors produced at <= i and used at > i *)
+        let crossing = Array.make (max n 1) 0 in
+        List.iter
+          (fun v ->
+            let i = Hashtbl.find pos_in v in
+            let l = Hashtbl.find last_use v in
+            (* v crosses every boundary between i and l-1 *)
+            if l > i && not (pinned g v) then begin
+              crossing.(i) <- crossing.(i) + 1;
+              if l < n then crossing.(l) <- crossing.(l) - 1
+            end)
+          ordered;
+        let segments = ref [] and current = ref [] in
+        let open_count = ref 0 in
+        List.iteri
+          (fun i v ->
+            current := v :: !current;
+            open_count := !open_count + crossing.(i);
+            (* cut when at most one tensor crosses the boundary after i:
+               the problem separates here *)
+            if !open_count <= max_crossing then begin
+              segments := List.rev !current :: !segments;
+              current := []
+            end)
+          ordered;
+        if !current <> [] then segments := List.rev !current :: !segments;
+        List.rev_map Int_set.of_list !segments)
+      (Graph.components_of g members)
+  in
+  (* order blocks by the topological position of their earliest node *)
+  List.sort
+    (fun a b ->
+      let key s =
+        Int_set.fold (fun v acc -> min acc (Hashtbl.find topo_pos v)) s max_int
+      in
+      compare (key a) (key b))
+    blocks

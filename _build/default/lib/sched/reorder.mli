@@ -1,0 +1,38 @@
+(** Memory-aware re-ordering: the paper's [DpSchedule] primitive (a
+    Serenity-style uniform-cost search over executed-set states, optimal
+    in peak memory) plus a near-linear memory-greedy list scheduler used
+    as the fallback and for cheap candidate evaluation. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+(** Weights and graph outputs: never freed. *)
+val pinned : Graph.t -> int -> bool
+
+(** Bytes freed by executing [v] given the executed set. *)
+val freed_by :
+  size_of:(int -> int) -> Graph.t -> Int_set.t -> Int_set.t -> int -> int
+
+val initial_ready : Graph.t -> Int_set.t -> Int_set.t
+
+val next_ready :
+  Graph.t -> Int_set.t -> Int_set.t -> Int_set.t -> int -> Int_set.t
+
+(** O((V+E) log V) list scheduling by (net memory delta, size). *)
+val greedy_schedule : size_of:(int -> int) -> Graph.t -> Int_set.t -> int list
+
+(** Peak-memory-optimal order, or [None] past the state budget. *)
+val dp_schedule :
+  ?max_states:int -> size_of:(int -> int) -> Graph.t -> Int_set.t ->
+  int list option
+
+(** DP with greedy fallback ([max_states = 0] skips the DP). *)
+val schedule_block :
+  ?max_states:int -> size_of:(int -> int) -> Graph.t -> Int_set.t -> int list
+
+(** Narrow-waist partition, then per-block scheduling, concatenated. *)
+val schedule_members :
+  ?max_states:int -> size_of:(int -> int) -> Graph.t -> Int_set.t -> int list
+
+(** Schedule the whole graph. *)
+val schedule : ?max_states:int -> ?size_of:(int -> int) -> Graph.t -> int list

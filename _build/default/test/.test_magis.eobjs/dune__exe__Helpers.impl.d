@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Autodiff Builder Graph Hardware List Magis Op_cost Shape Transformer Util

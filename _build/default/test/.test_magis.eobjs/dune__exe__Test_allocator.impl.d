@@ -1,0 +1,1 @@
+test/test_allocator.ml: Alcotest Allocator Graph Helpers Lifetime List Magis Printf Shape Zoo

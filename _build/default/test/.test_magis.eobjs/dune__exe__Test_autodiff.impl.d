@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Autodiff Builder Chain Graph Helpers List Magis Op Printf Shape Util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Chain Dtr Fusion_compiler Graph Helpers List Magis Microbatch Naive Pofo Shape Simulator Transformer Util Xla Zoo

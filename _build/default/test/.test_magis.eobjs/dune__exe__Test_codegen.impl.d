@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Builder Export Ftree Graph Helpers List Magis Mstate Op Option Printf Pytorch_codegen Shape String Transformer

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Graph Hardware Helpers Magis Op Op_cost Printf

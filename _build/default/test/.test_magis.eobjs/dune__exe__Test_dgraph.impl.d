@@ -1,0 +1,1 @@
+test/test_dgraph.ml: Alcotest Builder Dgraph Graph Helpers List Magis Op Shape Util

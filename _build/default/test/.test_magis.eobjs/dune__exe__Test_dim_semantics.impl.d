@@ -1,0 +1,1 @@
+test/test_dim_semantics.ml: Alcotest Array Float Graph Hashtbl Helpers List Magis Op Op_cost Printf Shape Zoo

@@ -1,0 +1,1 @@
+test/test_dominator.ml: Alcotest Dominator Graph Hashtbl Helpers List Magis Op Printf Randnet Util

@@ -1,0 +1,1 @@
+test/test_fission.ml: Alcotest Array Builder Dgraph Fission Ftree Graph Helpers List Magis Op Option Printf Reorder Shape Simulator String Util

@@ -1,0 +1,1 @@
+test/test_ftree.ml: Alcotest Fission Fmt Ftree Graph Helpers Lifetime List Magis Mstate Option Printf Shape Transformer Util

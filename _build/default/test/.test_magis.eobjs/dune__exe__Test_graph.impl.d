@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph Helpers List Magis Op Util

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Array Autodiff Builder Graph Hashtbl Helpers Incremental Lifetime List Magis Printf Reorder Rule Sched_rules Shape Simulator Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Fission Ftree Graph Helpers List Magis Mstate Naive Op Pofo Search Shape Simulator Transformer Unet Util Zoo

@@ -1,0 +1,1 @@
+test/test_lifetime.ml: Alcotest Array Builder Graph Helpers Lifetime List Magis Op Option Printf Shape Util

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Chain Graph Hardware Helpers List Magis Op Randnet Resnet Shape Simulator Unet Util Wl_hash Zoo

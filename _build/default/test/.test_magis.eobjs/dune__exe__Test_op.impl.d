@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Array Helpers List Magis Op Shape

@@ -1,0 +1,1 @@
+test/test_outcome.ml: Alcotest Fission Fmt Ftree Graph Helpers Lifetime Magis Mstate Outcome Printf Util

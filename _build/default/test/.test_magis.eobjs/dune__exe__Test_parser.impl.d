@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Builder Export Graph Helpers List Magis Op Program_parser Shape String Wl_hash Zoo

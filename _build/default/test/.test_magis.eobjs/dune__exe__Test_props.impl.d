@@ -1,0 +1,1 @@
+test/test_props.ml: Autodiff Builder Dgraph Dominator Fission Graph Incremental Lifetime List Magis Op QCheck2 QCheck_alcotest Random Reorder Shape Util Wl_hash

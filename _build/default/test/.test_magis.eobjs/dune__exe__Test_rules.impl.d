@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Autodiff Builder Graph Hashtbl Helpers Lifetime List Magis Op Reorder Rule Sched_rules Shape Simulator Taso_rules Util Wl_hash

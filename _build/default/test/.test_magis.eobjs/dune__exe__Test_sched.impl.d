@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Builder Graph Helpers Lifetime List Magis Op Partition Printf Reorder Shape Util Zoo

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Ftree Graph Helpers List Magis Mstate Search Shape Simulator Transformer Util

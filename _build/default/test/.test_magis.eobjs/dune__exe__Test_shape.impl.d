@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Helpers Magis Shape

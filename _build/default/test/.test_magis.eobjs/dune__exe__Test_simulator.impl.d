@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Builder Graph Helpers Lifetime Magis Op Op_cost Shape Simulator

@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Array Builder Graph Helpers List Magis Op Printf Reorder Shape Simulator Spatial Unet Util

@@ -1,0 +1,1 @@
+test/test_wl_hash.ml: Alcotest Builder Graph Helpers Magis Op Shape Wl_hash

@@ -1,0 +1,65 @@
+(** Shared graph fixtures and assertion helpers for the test suite. *)
+
+open Magis
+module B = Builder
+
+let cache () = Op_cost.create Hardware.default
+
+let shape dims = Shape.create dims
+
+(** [a -> b -> c] chain of unary ops over a [n]-element tensor. *)
+let chain3 ?(n = 16) () =
+  let b = B.create () in
+  let x = B.input b [ n ] ~dtype:Shape.F32 in
+  let r1 = B.relu b x in
+  let r2 = B.relu b r1 in
+  let r3 = B.relu b r2 in
+  (B.finish b, x, r1, r2, r3)
+
+(** Diamond: x feeding two branches that join in an add. *)
+let diamond ?(n = 16) () =
+  let b = B.create () in
+  let x = B.input b [ n ] ~dtype:Shape.F32 in
+  let l = B.relu b x in
+  let r = B.tanh_ b x in
+  let j = B.add b l r in
+  (B.finish b, x, l, r, j)
+
+(** A two-layer MLP training graph (the Fig. 5 structure): two dense
+    layers with ReLU, sum loss, full backward pass. *)
+let mlp_training ?(batch = 8) ?(hidden = 16) () =
+  let b = B.create () in
+  let x = B.input b [ batch; hidden ] ~dtype:Shape.F32 in
+  let w1 = B.weight b [ hidden; hidden ] ~dtype:Shape.F32 in
+  let w2 = B.weight b [ hidden; hidden ] ~dtype:Shape.F32 in
+  let h = B.relu b (B.dense b x w1) in
+  let y = B.dense b h w2 in
+  let loss = B.sum_loss b y in
+  Autodiff.backward (B.finish b) ~loss
+
+(** Self-attention block graph of the paper's Fig. 4. *)
+let attention ?(batch = 4) ?(seq = 8) ?(hidden = 16) ?(heads = 2) () =
+  let c =
+    { Transformer.batch; seq_len = seq; hidden; heads; layers = 1; vocab = 32;
+      dtype = Shape.F32 }
+  in
+  let b = B.create () in
+  let x = B.input b [ batch; seq; hidden ] ~dtype:Shape.F32 in
+  let y = Transformer.block b x c in
+  (B.finish b, x, y)
+
+let int_set = Util.Int_set.of_list
+
+let check_set msg expected actual =
+  Alcotest.(check (list int)) msg
+    (List.sort compare expected)
+    (List.sort compare (Util.Int_set.elements actual))
+
+let check_sorted msg expected actual =
+  Alcotest.(check (list int)) msg (List.sort compare expected)
+    (List.sort compare actual)
+
+let valid_order_of g order = Alcotest.(check bool) "valid order" true
+    (Graph.is_valid_order g order)
+
+let tc name f = Alcotest.test_case name `Quick f

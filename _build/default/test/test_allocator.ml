@@ -1,0 +1,50 @@
+open Magis
+open Helpers
+
+let analysis_of g = Lifetime.analyze g (Graph.topo_order g)
+
+let test_valid_and_bounded () =
+  let g = mlp_training ~batch:8 ~hidden:16 () in
+  let a = analysis_of g in
+  List.iter
+    (fun strategy ->
+      let p = Allocator.plan ~strategy a in
+      Alcotest.(check bool) "no overlapping placements" true
+        (Allocator.is_valid p);
+      Alcotest.(check bool) "arena covers the live peak" true
+        (p.arena_size >= p.peak_live))
+    [ Allocator.Best_fit; Allocator.First_fit; Allocator.Bump ]
+
+let test_best_fit_beats_bump () =
+  let g = Zoo.unet.build Zoo.Quick in
+  let a = analysis_of g in
+  let best = Allocator.plan ~strategy:Allocator.Best_fit a in
+  let bump = Allocator.plan ~strategy:Allocator.Bump a in
+  Alcotest.(check bool) "reuse beats bump allocation" true
+    (best.arena_size < bump.arena_size);
+  Alcotest.(check bool) "bump arena = total bytes" true
+    (bump.arena_size
+    >= Graph.fold (fun n acc -> acc + Shape.size_bytes n.shape) g 0 / 2)
+
+let test_fragmentation_reasonable () =
+  let g = Zoo.bert.build Zoo.Quick in
+  let p = Allocator.plan_schedule g (Graph.topo_order g) in
+  Alcotest.(check bool)
+    (Printf.sprintf "best-fit fragmentation <= 1.5 (got %.2f)"
+       (Allocator.fragmentation p))
+    true
+    (Allocator.fragmentation p <= 1.5)
+
+let test_chain_is_tight () =
+  (* a unary chain reuses two slots: the arena equals the live peak *)
+  let g, _, _, _, _ = chain3 ~n:256 () in
+  let p = Allocator.plan_schedule g (Graph.topo_order g) in
+  Alcotest.(check int) "no fragmentation on a chain" p.peak_live p.arena_size
+
+let suite =
+  [
+    tc "valid and bounded" test_valid_and_bounded;
+    tc "best-fit beats bump" test_best_fit_beats_bump;
+    tc "fragmentation reasonable" test_fragmentation_reasonable;
+    tc "chain is tight" test_chain_is_tight;
+  ]

@@ -1,0 +1,140 @@
+open Magis
+open Helpers
+module Int_map = Util.Int_map
+module Int_set = Util.Int_set
+
+let test_every_weight_gets_gradient () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 8; 16 ] ~dtype:Shape.F32 in
+  let w1 = Builder.weight b [ 16; 16 ] ~dtype:Shape.F32 in
+  let bias = Builder.weight b [ 16 ] ~dtype:Shape.F32 in
+  let h = Builder.relu b (Builder.linear b x w1 bias) in
+  let loss = Builder.sum_loss b h in
+  let g, grads = Autodiff.grad_table (Builder.finish b) ~loss in
+  List.iter
+    (fun w ->
+      match Int_map.find_opt w grads with
+      | None -> Alcotest.failf "weight %d has no gradient" w
+      | Some dw ->
+          Alcotest.(check bool)
+            (Printf.sprintf "grad %d has weight's shape" w)
+            true
+            (Shape.equal_dims (Graph.shape g w) (Graph.shape g dw)))
+    [ w1; bias ]
+
+let test_gradients_have_matching_shapes () =
+  let g = mlp_training () in
+  (* shape inference succeeded on every backward node *)
+  Alcotest.(check bool) "graph valid" true (Graph.n_nodes g > 0);
+  ignore (Graph.topo_order g)
+
+let test_fanin_accumulates () =
+  (* x used by two branches: its gradient must be the sum *)
+  let b = Builder.create () in
+  let x = Builder.input b [ 8 ] ~dtype:Shape.F32 in
+  let l = Builder.relu b x in
+  let r = Builder.tanh_ b x in
+  let s = Builder.add b l r in
+  let loss = Builder.sum_loss b s in
+  let g, grads = Autodiff.grad_table (Builder.finish b) ~loss in
+  match Int_map.find_opt x grads with
+  | None -> Alcotest.fail "x has no grad"
+  | Some dx ->
+      Alcotest.(check string) "accumulated by add" "add"
+        (Op.name (Graph.op g dx))
+
+let test_activations_consumed_by_backward () =
+  (* the key memory property: forward activations feed backward ops *)
+  let g = mlp_training () in
+  let forward, backward = Chain.split g in
+  let crossing =
+    Int_set.filter
+      (fun v ->
+        List.exists (fun s -> Int_set.mem s backward) (Graph.suc g v)
+        && not (Op.is_input (Graph.op g v)))
+      forward
+  in
+  Alcotest.(check bool) "several activations crossing into backward" true
+    (Int_set.cardinal crossing >= 2)
+
+let test_conv_backward_structure () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 2; 3; 8; 8 ] ~dtype:Shape.F32 in
+  let w = Builder.weight b [ 4; 3; 3; 3 ] ~dtype:Shape.F32 in
+  let y = Builder.conv2d ~padding:1 b x w in
+  let loss = Builder.sum_loss b y in
+  let g, grads = Autodiff.grad_table (Builder.finish b) ~loss in
+  let dw = Int_map.find w grads in
+  Alcotest.(check string) "weight grad op" "conv2d_bwd_weight(s1,p1)"
+    (Op.name (Graph.op g dw));
+  let dx = Int_map.find x grads in
+  Alcotest.(check string) "data grad op" "conv2d_bwd_data(s1,p1)"
+    (Op.name (Graph.op g dx));
+  Alcotest.(check bool) "dx shaped like x" true
+    (Shape.equal_dims (Graph.shape g dx) (Graph.shape g x))
+
+let test_concat_backward_slices () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 4; 8 ] ~dtype:Shape.F32 in
+  let l = Builder.relu b x in
+  let r = Builder.tanh_ b x in
+  let cat = Builder.concat b ~axis:1 [ l; r ] in
+  let loss = Builder.sum_loss b cat in
+  let g, grads = Autodiff.grad_table (Builder.finish b) ~loss in
+  let dl = Int_map.find l grads in
+  (match Graph.op g dl with
+  | Op.Slice { axis = 1; lo = 0; hi = 8 } -> ()
+  | op -> Alcotest.failf "expected slice grad, got %s" (Op.name op));
+  let dr = Int_map.find r grads in
+  match Graph.op g dr with
+  | Op.Slice { axis = 1; lo = 8; hi = 16 } -> ()
+  | op -> Alcotest.failf "expected second slice grad, got %s" (Op.name op)
+
+let test_embedding_backward () =
+  let b = Builder.create () in
+  let table = Builder.weight b [ 50; 8 ] ~dtype:Shape.F32 in
+  let ids = Builder.input ~label:"ids" b [ 4; 6 ] ~dtype:Shape.I64 in
+  let e = Builder.embedding b table ids in
+  let loss = Builder.sum_loss b e in
+  let g, grads = Autodiff.grad_table (Builder.finish b) ~loss in
+  let dt = Int_map.find table grads in
+  Alcotest.(check string) "scatter-add grad" "embedding_bwd"
+    (Op.name (Graph.op g dt));
+  Alcotest.(check bool) "table-shaped" true
+    (Shape.equal_dims (Graph.shape g dt) (Graph.shape g table))
+
+let test_seed_is_label_input () =
+  let g = mlp_training () in
+  let seeds =
+    Graph.fold
+      (fun n acc ->
+        if n.op = Op.Input Op.Label && n.label = "grad_seed" then n.id :: acc
+        else acc)
+      g []
+  in
+  Alcotest.(check int) "exactly one seed" 1 (List.length seeds)
+
+let test_training_graph_roughly_triples () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 8; 16 ] ~dtype:Shape.F32 in
+  let w = Builder.weight b [ 16; 16 ] ~dtype:Shape.F32 in
+  let h = Builder.dense b x w in
+  let loss = Builder.sum_loss b h in
+  let fwd = Builder.graph b in
+  let n_fwd = Graph.n_nodes fwd in
+  let g = Autodiff.backward fwd ~loss in
+  Alcotest.(check bool) "backward adds nodes" true
+    (Graph.n_nodes g > n_fwd + 1)
+
+let suite =
+  [
+    tc "every weight gets a gradient" test_every_weight_gets_gradient;
+    tc "shapes validate" test_gradients_have_matching_shapes;
+    tc "fan-in accumulates" test_fanin_accumulates;
+    tc "activations feed backward" test_activations_consumed_by_backward;
+    tc "conv backward structure" test_conv_backward_structure;
+    tc "concat backward slices" test_concat_backward_slices;
+    tc "embedding backward" test_embedding_backward;
+    tc "seed is a label input" test_seed_is_label_input;
+    tc "backward extends the graph" test_training_graph_roughly_triples;
+  ]

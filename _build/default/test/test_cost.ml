@@ -1,0 +1,60 @@
+open Magis
+open Helpers
+
+let test_cost_positive_and_cached () =
+  let c = cache () in
+  let g = mlp_training () in
+  Graph.iter
+    (fun n ->
+      let t = Op_cost.node_cost c g n.id in
+      if Op.is_input n.op || Op.is_swap n.op then
+        Alcotest.(check (float 0.0)) "free" 0.0 t
+      else
+        Alcotest.(check bool) (Printf.sprintf "%s > 0" (Op.name n.op)) true
+          (t > 0.0))
+    g;
+  Op_cost.reset_stats c;
+  ignore (Op_cost.graph_cost c g);
+  let hits, misses = Op_cost.stats c in
+  Alcotest.(check int) "all hits after warmup" 0 misses;
+  Alcotest.(check bool) "hits counted" true (hits > 0)
+
+let test_bigger_op_costs_more () =
+  let c = cache () in
+  let mm = Op.Matmul { trans_a = false; trans_b = false } in
+  let small = Op_cost.cost c mm [| shape [ 32; 32 ]; shape [ 32; 32 ] |]
+      (shape [ 32; 32 ]) in
+  let big = Op_cost.cost c mm [| shape [ 256; 256 ]; shape [ 256; 256 ] |]
+      (shape [ 256; 256 ]) in
+  Alcotest.(check bool) "bigger matmul slower" true (big > small)
+
+let test_utilization_penalty () =
+  (* n sequential halves cost more than the whole: the fission tax *)
+  let c = cache () in
+  let mm = Op.Matmul { trans_a = false; trans_b = false } in
+  let whole = Op_cost.cost c mm [| shape [ 128; 64 ]; shape [ 64; 64 ] |]
+      (shape [ 128; 64 ]) in
+  let half = Op_cost.cost c mm [| shape [ 64; 64 ]; shape [ 64; 64 ] |]
+      (shape [ 64; 64 ]) in
+  Alcotest.(check bool) "2 x half > whole" true (2.0 *. half > whole)
+
+let test_swap_time () =
+  let c = cache () in
+  let t = Op_cost.swap_time c 16_000_000_000 in
+  (* 16 GB over a 16 GB/s link = 1 second *)
+  Alcotest.(check (float 0.01)) "pcie model" 1.0 t
+
+let test_hardware_profiles () =
+  Alcotest.(check bool) "desktop faster than mobile" true
+    (Hardware.rtx3090.peak_flops > Hardware.mobile.peak_flops);
+  Alcotest.(check bool) "default is desktop" true
+    (Hardware.default.name = Hardware.rtx3090.name)
+
+let suite =
+  [
+    tc "cost positive and cached" test_cost_positive_and_cached;
+    tc "bigger op costs more" test_bigger_op_costs_more;
+    tc "utilization penalty" test_utilization_penalty;
+    tc "swap time" test_swap_time;
+    tc "hardware profiles" test_hardware_profiles;
+  ]

@@ -1,0 +1,150 @@
+(** Cross-cutting invariants of the operator dimension semantics, checked
+    over every node of every Quick workload (thousands of operator
+    instances).  The D-Graph and fission correctness rest on these. *)
+
+open Magis
+open Helpers
+
+let graphs () =
+  List.map (fun (w : Zoo.workload) -> (w.name, w.build Zoo.Quick)) Zoo.all
+
+let in_shapes g (n : Graph.node) =
+  Array.map (fun i -> Graph.shape g i) n.inputs
+
+(** Spatial links connect dimensions of equal extent; link targets are in
+    range. *)
+let test_links_extent_consistency () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter
+        (fun n ->
+          let ins = in_shapes g n in
+          let r = Op.reduce_arity n.op ins in
+          List.iter
+            (fun (slot, in_dim, link) ->
+              let ctx =
+                Printf.sprintf "%s node %d (%s) slot %d dim %d" name n.id
+                  (Op.name n.op) slot in_dim
+              in
+              Alcotest.(check bool) (ctx ^ ": slot in range") true
+                (slot >= 0 && slot < Array.length ins);
+              Alcotest.(check bool) (ctx ^ ": dim in range") true
+                (in_dim >= 0 && in_dim < Shape.rank ins.(slot));
+              match link with
+              | Op.To_out j ->
+                  Alcotest.(check bool) (ctx ^ ": out dim in range") true
+                    (j >= 0 && j < Shape.rank n.shape);
+                  (* slice/concat axes legitimately change extent along
+                     the linked dimension; everywhere else extents match *)
+                  let exempt =
+                    match n.op with
+                    | Op.Slice { axis; _ } -> j = axis
+                    | Op.Concat axis -> j = axis
+                    | _ -> false
+                  in
+                  if not exempt then
+                    Alcotest.(check int)
+                      (ctx ^ ": spatial extents equal")
+                      (Shape.dim ins.(slot) in_dim)
+                      (Shape.dim n.shape j)
+              | Op.To_reduce j ->
+                  Alcotest.(check bool) (ctx ^ ": reduce axis in range") true
+                    (j >= 0 && j < r))
+            (Op.links n.op ins n.shape))
+        g)
+    (graphs ())
+
+(** Reduce axes are fed consistently: every pair of input dims linked to
+    the same reduce axis has the same extent. *)
+let test_reduce_axis_extents_agree () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter
+        (fun n ->
+          let ins = in_shapes g n in
+          let by_axis = Hashtbl.create 4 in
+          List.iter
+            (fun (slot, in_dim, link) ->
+              match link with
+              | Op.To_reduce j ->
+                  let e = Shape.dim ins.(slot) in_dim in
+                  (match Hashtbl.find_opt by_axis j with
+                  | Some e' ->
+                      Alcotest.(check int)
+                        (Printf.sprintf "%s node %d (%s) reduce axis %d" name
+                           n.id (Op.name n.op) j)
+                        e' e
+                  | None -> Hashtbl.replace by_axis j e)
+              | Op.To_out _ -> ())
+            (Op.links n.op ins n.shape))
+        g)
+    (graphs ())
+
+(** Unsplittable output dims are in range; splitting any *splittable*
+    output dim by a divisor keeps shape inference consistent (the
+    foundation of fission expansion). *)
+let test_unsplittable_in_range () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter
+        (fun n ->
+          let ins = in_shapes g n in
+          List.iter
+            (fun d ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s node %d (%s): unsplittable dim %d in range"
+                   name n.id (Op.name n.op) d)
+                true
+                (d >= 0 && d < Shape.rank n.shape))
+            (Op.unsplittable_out_dims n.op ins n.shape))
+        g)
+    (graphs ())
+
+(** Shape inference agrees with the stored shapes (the graphs were built
+    through inference, so this guards against drift in [infer]). *)
+let test_infer_agrees_with_stored () =
+  List.iter
+    (fun (name, g) ->
+      Graph.iter
+        (fun n ->
+          if not (Op.is_input n.op) then
+            match Op.infer n.op (in_shapes g n) with
+            | Ok s ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s node %d (%s)" name n.id (Op.name n.op))
+                  true
+                  (Shape.equal_dims s n.shape)
+            | Error e ->
+                Alcotest.failf "%s node %d (%s): inference broke: %s" name
+                  n.id (Op.name n.op) e)
+        g)
+    (graphs ())
+
+(** Cost-model sanity over every operator instance: finite, non-negative
+    flops and traffic. *)
+let test_costs_finite () =
+  let c = cache () in
+  List.iter
+    (fun (name, g) ->
+      Graph.iter
+        (fun n ->
+          let ins = in_shapes g n in
+          let fl = Op.flops n.op ins n.shape in
+          let by = Op.bytes_moved n.op ins n.shape in
+          let t = Op_cost.node_cost c g n.id in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s node %d (%s)" name n.id (Op.name n.op))
+            true
+            (Float.is_finite fl && fl >= 0.0 && Float.is_finite by
+             && by >= 0.0 && Float.is_finite t && t >= 0.0))
+        g)
+    (graphs ())
+
+let suite =
+  [
+    tc "spatial link extents" test_links_extent_consistency;
+    tc "reduce axis extents agree" test_reduce_axis_extents_agree;
+    tc "unsplittable dims in range" test_unsplittable_in_range;
+    tc "inference agrees with stored shapes" test_infer_agrees_with_stored;
+    tc "costs finite" test_costs_finite;
+  ]

@@ -1,0 +1,127 @@
+open Magis
+open Helpers
+module Int_set = Util.Int_set
+
+let test_chain_dominators () =
+  let g, x, r1, r2, r3 = chain3 () in
+  let t = Dominator.compute g in
+  Alcotest.(check (option int)) "idom r1 = x" (Some x) (Dominator.idom t r1);
+  Alcotest.(check (option int)) "idom r2 = r1" (Some r1) (Dominator.idom t r2);
+  Alcotest.(check (option int)) "idom r3 = r2" (Some r2) (Dominator.idom t r3);
+  Alcotest.(check (option int)) "x rooted at virtual root"
+    (Some Dominator.virtual_root) (Dominator.idom t x)
+
+let test_diamond_dominators () =
+  let g, x, l, r, j = diamond () in
+  let t = Dominator.compute g in
+  (* the join is dominated by x, not by either branch *)
+  Alcotest.(check (option int)) "idom j = x" (Some x) (Dominator.idom t j);
+  Alcotest.(check (option int)) "idom l = x" (Some x) (Dominator.idom t l);
+  Alcotest.(check (option int)) "idom r = x" (Some x) (Dominator.idom t r);
+  check_set "strict subtree of x" [ l; r; j ] (Dominator.strict_subtree t x);
+  Alcotest.(check bool) "x dominates j" true (Dominator.dominates t x j);
+  Alcotest.(check bool) "l does not dominate j" false (Dominator.dominates t l j);
+  Alcotest.(check bool) "reflexive" true (Dominator.dominates t j j)
+
+let test_training_graph_domination () =
+  (* the property §4.3 relies on: with the primary input as entry, a
+     layer input dominates its forward remainder AND the corresponding
+     backward operators *)
+  let g = mlp_training () in
+  let t = Dominator.compute g in
+  (* find the first dense node: it is dominated by the placeholder x *)
+  let x =
+    List.find
+      (fun v -> (Graph.node g v).op = Op.Input Op.Placeholder
+                && (Graph.node g v).label <> "grad_seed")
+      (Graph.inputs g)
+  in
+  let sub = Dominator.strict_subtree t x in
+  (* every descendant of x — forward ops AND the backward operators that
+     consume x's activations — is dominated by x (gradients that flow only
+     from the seed, like the last layer's data gradient, are not) *)
+  let descendants = Graph.des g x in
+  Graph.iter
+    (fun n ->
+      if (not (Op.is_input n.op)) && Int_set.mem n.id descendants then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d (%s) dominated by x" n.id (Op.name n.op))
+          true (Int_set.mem n.id sub))
+    g;
+  Alcotest.(check bool) "some backward node is dominated" true
+    (Int_set.exists
+       (fun v -> Op.name (Graph.op g v) = "dense_bwd_weight")
+       sub)
+
+let test_members_restriction () =
+  let g, x, l, r, j = diamond () in
+  (* restricted to the branch {l, j}: l becomes the entry *)
+  let t = Dominator.compute ~members:(int_set [ l; j ]) g in
+  Alcotest.(check (option int)) "idom j = l in sub-graph" (Some l)
+    (Dominator.idom t j);
+  ignore (x, r)
+
+let test_entries_override () =
+  let g, x, l, _, j = diamond () in
+  let t = Dominator.compute ~entries:[ x ] g in
+  Alcotest.(check bool) "x dominates join" true (Dominator.dominates t x j);
+  ignore l
+
+let test_subtree_vs_strict () =
+  let g, x, _, _, _ = diamond () in
+  let t = Dominator.compute g in
+  Alcotest.(check int) "subtree includes self"
+    (Int_set.cardinal (Dominator.strict_subtree t x) + 1)
+    (Int_set.cardinal (Dominator.subtree t x))
+
+let test_dominator_soundness_random () =
+  (* brute-force check on a small random DNN: u dominates v iff removing
+     u disconnects v from all entries *)
+  let cfg = { Randnet.default with cells = 1; nodes_per_cell = 3; seed = 7 } in
+  let g = Randnet.build ~cfg () in
+  let t = Dominator.compute g in
+  let entries =
+    List.filter
+      (fun v -> (Graph.node g v).op = Op.Input Op.Placeholder)
+      (Graph.inputs g)
+  in
+  let reaches_avoiding u v =
+    (* BFS from entries avoiding u *)
+    let visited = Hashtbl.create 64 in
+    let rec go = function
+      | [] -> false
+      | w :: rest ->
+          if w = v then true
+          else if w = u || Hashtbl.mem visited w then go rest
+          else begin
+            Hashtbl.replace visited w ();
+            go (Graph.suc g w @ rest)
+          end
+    in
+    go entries
+  in
+  let nodes = Graph.node_ids g in
+  List.iter
+    (fun v ->
+      if not (List.mem v entries) && reaches_avoiding (-2) v then
+        List.iter
+          (fun u ->
+            if u <> v && reaches_avoiding (-2) u then
+              let dom = Dominator.dominates t u v in
+              let cut = not (reaches_avoiding u v) in
+              Alcotest.(check bool)
+                (Printf.sprintf "dominates(%d,%d)" u v)
+                cut dom)
+          (Util.take 15 nodes))
+    (Util.take 15 nodes)
+
+let suite =
+  [
+    tc "chain dominators" test_chain_dominators;
+    tc "diamond dominators" test_diamond_dominators;
+    tc "training graph domination" test_training_graph_domination;
+    tc "sub-graph restriction" test_members_restriction;
+    tc "entries override" test_entries_override;
+    tc "subtree vs strict subtree" test_subtree_vs_strict;
+    tc "soundness vs brute force" test_dominator_soundness_random;
+  ]

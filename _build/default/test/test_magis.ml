@@ -1,0 +1,33 @@
+(** Test-suite entry point: one alcotest run over every module suite. *)
+
+let () =
+  Alcotest.run "magis"
+    [
+      ("shape", Test_shape.suite);
+      ("op", Test_op.suite);
+      ("dim-semantics", Test_dim_semantics.suite);
+      ("graph", Test_graph.suite);
+      ("dominator", Test_dominator.suite);
+      ("wl_hash", Test_wl_hash.suite);
+      ("cost", Test_cost.suite);
+      ("lifetime", Test_lifetime.suite);
+      ("simulator", Test_simulator.suite);
+      ("dgraph", Test_dgraph.suite);
+      ("fission", Test_fission.suite);
+      ("ftree", Test_ftree.suite);
+      ("spatial", Test_spatial.suite);
+      ("sched", Test_sched.suite);
+      ("incremental", Test_incremental.suite);
+      ("rules", Test_rules.suite);
+      ("autodiff", Test_autodiff.suite);
+      ("models", Test_models.suite);
+      ("baselines", Test_baselines.suite);
+      ("outcome", Test_outcome.suite);
+      ("search", Test_search.suite);
+      ("properties", Test_props.suite);
+      ("codegen", Test_codegen.suite);
+      ("parser", Test_parser.suite);
+      ("allocator", Test_allocator.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("integration", Test_integration.suite);
+    ]

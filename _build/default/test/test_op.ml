@@ -1,0 +1,213 @@
+open Magis
+open Helpers
+
+let infer_ok op ins =
+  match Op.infer op (Array.of_list ins) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "infer %s failed: %s" (Op.name op) e
+
+let infer_err op ins =
+  match Op.infer op (Array.of_list ins) with
+  | Ok _ -> Alcotest.failf "infer %s unexpectedly succeeded" (Op.name op)
+  | Error _ -> ()
+
+let test_matmul_infer () =
+  let s = infer_ok (Op.Matmul { trans_a = false; trans_b = false })
+      [ shape [ 3; 4 ]; shape [ 4; 5 ] ] in
+  Alcotest.(check (list int)) "m,n" [ 3; 5 ] (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Matmul { trans_a = true; trans_b = false })
+      [ shape [ 4; 3 ]; shape [ 4; 5 ] ] in
+  Alcotest.(check (list int)) "trans_a" [ 3; 5 ] (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Matmul { trans_a = false; trans_b = true })
+      [ shape [ 3; 4 ]; shape [ 5; 4 ] ] in
+  Alcotest.(check (list int)) "trans_b" [ 3; 5 ] (Array.to_list (Shape.dims s));
+  infer_err (Op.Matmul { trans_a = false; trans_b = false })
+    [ shape [ 3; 4 ]; shape [ 5; 5 ] ]
+
+let test_dense_infer () =
+  let s = infer_ok (Op.Dense { trans_w = false })
+      [ shape [ 2; 7; 4 ]; shape [ 4; 9 ] ] in
+  Alcotest.(check (list int)) "dense keeps leading dims" [ 2; 7; 9 ]
+    (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Dense { trans_w = true })
+      [ shape [ 2; 7; 4 ]; shape [ 9; 4 ] ] in
+  Alcotest.(check (list int)) "dense_tw" [ 2; 7; 9 ] (Array.to_list (Shape.dims s));
+  infer_err (Op.Dense { trans_w = false }) [ shape [ 2; 7; 4 ]; shape [ 5; 9 ] ];
+  let s = infer_ok Op.Dense_bwd_weight [ shape [ 2; 7; 4 ]; shape [ 2; 7; 9 ] ] in
+  Alcotest.(check (list int)) "dense_bwd_weight" [ 4; 9 ] (Array.to_list (Shape.dims s))
+
+let test_bmm_infer () =
+  let s = infer_ok (Op.Batch_matmul { trans_a = false; trans_b = true })
+      [ shape [ 2; 3; 8; 16 ]; shape [ 2; 3; 8; 16 ] ] in
+  Alcotest.(check (list int)) "qk^t" [ 2; 3; 8; 8 ] (Array.to_list (Shape.dims s));
+  infer_err (Op.Batch_matmul { trans_a = false; trans_b = false })
+    [ shape [ 2; 3; 8; 16 ]; shape [ 2; 4; 16; 8 ] ]
+
+let test_conv_infer () =
+  let s = infer_ok (Op.Conv2d { stride = 2; padding = 3 })
+      [ shape [ 8; 3; 224; 224 ]; shape [ 64; 3; 7; 7 ] ] in
+  Alcotest.(check (list int)) "resnet stem" [ 8; 64; 112; 112 ]
+    (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Conv2d { stride = 1; padding = 1 })
+      [ shape [ 8; 16; 32; 32 ]; shape [ 16; 16; 3; 3 ] ] in
+  Alcotest.(check (list int)) "same conv" [ 8; 16; 32; 32 ]
+    (Array.to_list (Shape.dims s));
+  infer_err (Op.Conv2d { stride = 1; padding = 0 })
+    [ shape [ 8; 3; 8; 8 ]; shape [ 4; 5; 3; 3 ] ]
+
+let test_conv_bwd_data_shape_carrier () =
+  (* a strided conv floors away the extent; the 3-operand form recovers it *)
+  let x = shape [ 8; 16; 5; 5 ] in
+  let w = shape [ 32; 16; 3; 3 ] in
+  let dy = infer_ok (Op.Conv2d { stride = 2; padding = 1 }) [ x; w ] in
+  Alcotest.(check (list int)) "fwd" [ 8; 32; 3; 3 ] (Array.to_list (Shape.dims dy));
+  let dx = infer_ok (Op.Conv2d_bwd_data { stride = 2; padding = 1 }) [ dy; w; x ] in
+  Alcotest.(check bool) "dx = x shape" true (Shape.equal_dims dx x)
+
+let test_deconv_infer () =
+  (* two-operand conv_bwd_data = transposed convolution upsampling *)
+  let s = infer_ok (Op.Conv2d_bwd_data { stride = 2; padding = 0 })
+      [ shape [ 4; 64; 16; 16 ]; shape [ 64; 32; 2; 2 ] ] in
+  Alcotest.(check (list int)) "2x upsample" [ 4; 32; 32; 32 ]
+    (Array.to_list (Shape.dims s))
+
+let test_elementwise_infer () =
+  let a = shape [ 4; 4 ] in
+  let s = infer_ok (Op.Binary Op.Add) [ a; a ] in
+  Alcotest.(check bool) "add" true (Shape.equal_dims a s);
+  infer_err (Op.Binary Op.Add) [ a; shape [ 4; 5 ] ];
+  let s = infer_ok (Op.Unary Op.Relu) [ a ] in
+  Alcotest.(check bool) "relu" true (Shape.equal_dims a s);
+  let s = infer_ok (Op.Bias_add 1) [ a; shape [ 4 ] ] in
+  Alcotest.(check bool) "bias_add" true (Shape.equal_dims a s);
+  infer_err (Op.Bias_add 1) [ a; shape [ 5 ] ]
+
+let test_reduce_broadcast_roundtrip () =
+  let a = shape [ 4; 6; 8 ] in
+  let r = infer_ok (Op.Reduce (Op.R_sum, [ 1 ])) [ a ] in
+  Alcotest.(check (list int)) "reduce" [ 4; 8 ] (Array.to_list (Shape.dims r));
+  let b = infer_ok (Op.Broadcast { dims = [| 4; 6; 8 |]; axes = [ 1 ] }) [ r ] in
+  Alcotest.(check bool) "broadcast back" true (Shape.equal_dims a b);
+  let full = infer_ok (Op.Reduce (Op.R_sum, [ 0; 1; 2 ])) [ a ] in
+  Alcotest.(check (list int)) "full reduce keeps [1]" [ 1 ]
+    (Array.to_list (Shape.dims full))
+
+let test_structural_ops () =
+  let a = shape [ 2; 3; 4 ] in
+  let t = infer_ok (Op.Transpose [| 2; 0; 1 |]) [ a ] in
+  Alcotest.(check (list int)) "transpose" [ 4; 2; 3 ] (Array.to_list (Shape.dims t));
+  infer_err (Op.Transpose [| 0; 0; 1 |]) [ a ];
+  let r = infer_ok (Op.Reshape [| 6; 4 |]) [ a ] in
+  Alcotest.(check (list int)) "reshape" [ 6; 4 ] (Array.to_list (Shape.dims r));
+  infer_err (Op.Reshape [| 5; 5 |]) [ a ];
+  let s = infer_ok (Op.Slice { axis = 1; lo = 1; hi = 3 }) [ a ] in
+  Alcotest.(check (list int)) "slice" [ 2; 2; 4 ] (Array.to_list (Shape.dims s));
+  infer_err (Op.Slice { axis = 1; lo = 2; hi = 2 }) [ a ];
+  let c = infer_ok (Op.Concat 1) [ a; a; a ] in
+  Alcotest.(check (list int)) "concat" [ 2; 9; 4 ] (Array.to_list (Shape.dims c))
+
+let test_embedding_infer () =
+  let table = shape [ 100; 8 ] in
+  let ids = Shape.create ~dtype:Shape.I64 [ 4; 10 ] in
+  let e = infer_ok Op.Embedding [ table; ids ] in
+  Alcotest.(check (list int)) "embedding" [ 4; 10; 8 ] (Array.to_list (Shape.dims e));
+  let d = infer_ok Op.Embedding_bwd [ e; ids; table ] in
+  Alcotest.(check bool) "embedding_bwd" true (Shape.equal_dims d table)
+
+let test_flops_monotone () =
+  (* splitting a matmul along m halves its flops *)
+  let full = Op.flops (Op.Matmul { trans_a = false; trans_b = false })
+      [| shape [ 8; 4 ]; shape [ 4; 6 ] |] (shape [ 8; 6 ]) in
+  let half = Op.flops (Op.Matmul { trans_a = false; trans_b = false })
+      [| shape [ 4; 4 ]; shape [ 4; 6 ] |] (shape [ 4; 6 ]) in
+  Alcotest.(check (float 1e-9)) "half the flops" (full /. 2.0) half;
+  Alcotest.(check (float 1e-9)) "matmul flops" (2.0 *. 8.0 *. 6.0 *. 4.0) full
+
+let test_view_and_swap_predicates () =
+  Alcotest.(check bool) "transpose is view" true (Op.is_view (Op.Transpose [| 0 |]));
+  Alcotest.(check bool) "store is swap" true (Op.is_swap Op.Store);
+  Alcotest.(check bool) "load is swap" true (Op.is_swap Op.Load);
+  Alcotest.(check bool) "matmul is neither" false
+    (Op.is_view (Op.Matmul { trans_a = false; trans_b = false })
+    || Op.is_swap (Op.Matmul { trans_a = false; trans_b = false }));
+  Alcotest.(check bool) "weight" true (Op.is_weight (Op.Input Op.Weight));
+  Alcotest.(check bool) "placeholder is input" true (Op.is_input (Op.Input Op.Placeholder))
+
+let test_dim_links_matmul () =
+  let ins = [| shape [ 3; 4 ]; shape [ 4; 5 ] |] in
+  let out = shape [ 3; 5 ] in
+  let links = Op.links (Op.Matmul { trans_a = false; trans_b = false }) ins out in
+  Alcotest.(check int) "4 links" 4 (List.length links);
+  Alcotest.(check bool) "a.m -> out0" true
+    (List.mem (0, 0, Op.To_out 0) links);
+  Alcotest.(check bool) "a.k -> reduce0" true
+    (List.mem (0, 1, Op.To_reduce 0) links);
+  Alcotest.(check bool) "b.k -> reduce0" true
+    (List.mem (1, 0, Op.To_reduce 0) links);
+  Alcotest.(check bool) "b.n -> out1" true (List.mem (1, 1, Op.To_out 1) links)
+
+let test_dim_links_dense_bwd_weight () =
+  (* leading dims of x and dy are reduce axes (the Fig. 5 pattern) *)
+  let ins = [| shape [ 8; 16; 4 ]; shape [ 8; 16; 6 ] |] in
+  let out = shape [ 4; 6 ] in
+  let links = Op.links Op.Dense_bwd_weight ins out in
+  Alcotest.(check bool) "x batch -> reduce0" true
+    (List.mem (0, 0, Op.To_reduce 0) links);
+  Alcotest.(check bool) "x seq -> reduce1" true
+    (List.mem (0, 1, Op.To_reduce 1) links);
+  Alcotest.(check bool) "x last -> out0" true (List.mem (0, 2, Op.To_out 0) links);
+  Alcotest.(check bool) "dy last -> out1" true (List.mem (1, 2, Op.To_out 1) links);
+  Alcotest.(check int) "reduce arity" 2
+    (Op.reduce_arity Op.Dense_bwd_weight ins)
+
+let test_unsplittable_dims () =
+  let x = shape [ 4; 8 ] in
+  Alcotest.(check (list int)) "softmax axis" [ 1 ]
+    (Op.unsplittable_out_dims (Op.Softmax 1) [| x |] x);
+  let nchw = shape [ 2; 3; 8; 8 ] in
+  Alcotest.(check (list int)) "conv window dims" [ 2; 3 ]
+    (Op.unsplittable_out_dims (Op.Conv2d { stride = 1; padding = 1 })
+       [| nchw; shape [ 3; 3; 3; 3 ] |] nchw);
+  Alcotest.(check (list int)) "layer_norm trailing" [ 1 ]
+    (Op.unsplittable_out_dims (Op.Layer_norm 1) [| x; shape [ 8 ]; shape [ 8 ] |] x)
+
+let test_reduce_merge () =
+  Alcotest.(check bool) "matmul sums" true
+    (Op.reduce_merge (Op.Matmul { trans_a = false; trans_b = false }) = `Sum);
+  Alcotest.(check bool) "reduce max merges with max" true
+    (Op.reduce_merge (Op.Reduce (Op.R_max, [ 0 ])) = `Max);
+  Alcotest.(check bool) "mean cannot merge" true
+    (Op.reduce_merge (Op.Reduce (Op.R_mean, [ 0 ])) = `No_merge);
+  Alcotest.(check bool) "relu has no reduce" true
+    (Op.reduce_merge (Op.Unary Op.Relu) = `No_merge)
+
+let test_reshape_links_prefix_suffix () =
+  (* [B,T,C] -> [B,T,H,h]: B and T stay linked, C is opaque *)
+  let ins = [| shape [ 4; 8; 6 ] |] in
+  let out = shape [ 4; 8; 2; 3 ] in
+  let links = Op.links (Op.Reshape [| 4; 8; 2; 3 |]) ins out in
+  Alcotest.(check bool) "B linked" true (List.mem (0, 0, Op.To_out 0) links);
+  Alcotest.(check bool) "T linked" true (List.mem (0, 1, Op.To_out 1) links);
+  Alcotest.(check bool) "C not linked" false
+    (List.exists (fun (_, d, _) -> d = 2) links)
+
+let suite =
+  [
+    tc "matmul infer" test_matmul_infer;
+    tc "dense infer" test_dense_infer;
+    tc "batch matmul infer" test_bmm_infer;
+    tc "conv2d infer" test_conv_infer;
+    tc "conv_bwd_data shape carrier" test_conv_bwd_data_shape_carrier;
+    tc "deconv upsampling" test_deconv_infer;
+    tc "elementwise infer" test_elementwise_infer;
+    tc "reduce/broadcast roundtrip" test_reduce_broadcast_roundtrip;
+    tc "structural ops" test_structural_ops;
+    tc "embedding infer" test_embedding_infer;
+    tc "flops monotonicity" test_flops_monotone;
+    tc "view/swap predicates" test_view_and_swap_predicates;
+    tc "matmul dim links" test_dim_links_matmul;
+    tc "dense_bwd_weight dim links" test_dim_links_dense_bwd_weight;
+    tc "unsplittable dims" test_unsplittable_dims;
+    tc "reduce merge" test_reduce_merge;
+    tc "reshape prefix/suffix links" test_reshape_links_prefix_suffix;
+  ]

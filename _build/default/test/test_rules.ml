@@ -1,0 +1,216 @@
+open Magis
+open Helpers
+module Int_set = Util.Int_set
+
+let ctx_for c g schedule =
+  let res = Simulator.run c g schedule in
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) schedule;
+  { Rule.default_ctx with
+    hotspots = Lifetime.hotspots res.analysis;
+    schedule_pos = (fun v -> Hashtbl.find_opt pos v);
+    max_per_rule = 16 }
+
+(* large-activation training graph where scheduling rules have targets *)
+let subject () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 128; 64 ] ~dtype:Shape.F32 in
+  let h = ref x in
+  for _ = 1 to 5 do
+    let w = Builder.weight b [ 64; 64 ] ~dtype:Shape.F32 in
+    h := Builder.gelu b (Builder.dense b !h w)
+  done;
+  let loss = Builder.sum_loss b !h in
+  Autodiff.backward (Builder.finish b) ~loss
+
+(** Every rewrite must preserve graph invariants: acyclic, valid shapes,
+    same graph outputs count (semantics-preserving rewrites never lose a
+    result). *)
+let check_rewrite_soundness g (rw : Rule.rewrite) =
+  let order = Graph.topo_order rw.graph in
+  Alcotest.(check int)
+    (rw.rule ^ ": order covers graph")
+    (Graph.n_nodes rw.graph) (List.length order);
+  let outs g = List.length (Graph.outputs g) in
+  Alcotest.(check bool)
+    (rw.rule ^ ": outputs preserved")
+    true
+    (outs rw.graph >= outs g)
+
+let test_all_rules_sound () =
+  let c = cache () in
+  let g = subject () in
+  let schedule = Reorder.schedule ~max_states:0 g in
+  let ctx = ctx_for c g schedule in
+  List.iter
+    (fun (r : Rule.t) ->
+      List.iter (check_rewrite_soundness g) (r.apply ctx g))
+    (Sched_rules.all @ Taso_rules.all)
+
+let test_swap_then_deswap_roundtrip () =
+  let c = cache () in
+  let g = subject () in
+  let schedule = Reorder.schedule ~max_states:0 g in
+  let ctx = ctx_for c g schedule in
+  match Sched_rules.swapping.apply ctx g with
+  | [] -> Alcotest.fail "no swap rewrite"
+  | rw :: _ -> (
+      let swap_count g =
+        Graph.fold
+          (fun n acc -> if Op.is_swap n.op then acc + 1 else acc)
+          g 0
+      in
+      Alcotest.(check int) "store+load added" 2 (swap_count rw.graph);
+      match Sched_rules.de_swapping.apply ctx rw.graph with
+      | [] -> Alcotest.fail "no de-swap rewrite"
+      | rw2 :: _ ->
+          Alcotest.(check int) "swap removed" 0 (swap_count rw2.graph);
+          Alcotest.(check bool) "structure restored" true
+            (Wl_hash.equal_structure g rw2.graph))
+
+let test_remat_then_deremat_roundtrip () =
+  let c = cache () in
+  let g = subject () in
+  let schedule = Reorder.schedule ~max_states:0 g in
+  let ctx = ctx_for c g schedule in
+  match Sched_rules.rematerialization.apply ctx g with
+  | [] -> Alcotest.fail "no remat rewrite"
+  | rw :: _ -> (
+      Alcotest.(check int) "one node added" (Graph.n_nodes g + 1)
+        (Graph.n_nodes rw.graph);
+      match Sched_rules.de_rematerialization.apply ctx rw.graph with
+      | [] -> Alcotest.fail "no de-remat rewrite"
+      | rewrites ->
+          (* among the mergeable duplicate pairs, one merge undoes ours *)
+          Alcotest.(check bool) "some de-remat restores the structure" true
+            (List.exists
+               (fun (rw2 : Rule.rewrite) ->
+                 Wl_hash.equal_structure g rw2.graph)
+               rewrites))
+
+let test_swap_reduces_peak_with_reschedule () =
+  let c = cache () in
+  let g = subject () in
+  let schedule = Reorder.schedule ~max_states:0 g in
+  let base = Simulator.run c g schedule in
+  let ctx = ctx_for c g schedule in
+  let best =
+    List.fold_left
+      (fun acc (rw : Rule.rewrite) ->
+        let order = Reorder.schedule ~max_states:0 rw.graph in
+        let r = Simulator.run c rw.graph order in
+        min acc r.peak_mem)
+      max_int
+      (Sched_rules.swapping.apply ctx g)
+  in
+  Alcotest.(check bool) "some swap reduces peak" true (best < base.peak_mem)
+
+let test_qkv_merge () =
+  (* three parallel Dense ops sharing an input merge into one (Fig. 1a) *)
+  let b = Builder.create () in
+  let x = Builder.input b [ 8; 16 ] ~dtype:Shape.F32 in
+  let mk () = Builder.weight b [ 16; 16 ] ~dtype:Shape.F32 in
+  let q = Builder.dense b x (mk ()) in
+  let k = Builder.dense b x (mk ()) in
+  let v = Builder.dense b x (mk ()) in
+  let _ = Builder.add b (Builder.add b q k) v in
+  let g = Builder.finish b in
+  let ctx = { Rule.default_ctx with max_per_rule = 4 } in
+  match Taso_rules.merge_parallel.apply ctx g with
+  | [] -> Alcotest.fail "no merge rewrite"
+  | rw :: _ ->
+      (* merged graph has one dense and three slices *)
+      let count name g =
+        Graph.fold
+          (fun n acc -> if Op.name n.op = name then acc + 1 else acc)
+          g 0
+      in
+      Alcotest.(check int) "one dense left" 1 (count "dense" rw.graph);
+      Alcotest.(check int) "one weight concat" 1 (count "concat(1)" rw.graph);
+      Alcotest.(check bool) "slices introduced" true
+        (Graph.fold
+           (fun n acc ->
+             acc || (match n.op with Op.Slice _ -> true | _ -> false))
+           rw.graph false)
+
+let test_concat_slice_elimination () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 8; 16 ] ~dtype:Shape.F32 in
+  let s1 = Builder.slice b ~axis:1 ~lo:0 ~hi:8 x in
+  let s2 = Builder.slice b ~axis:1 ~lo:8 ~hi:16 x in
+  let cat = Builder.concat b ~axis:1 [ s1; s2 ] in
+  let _ = Builder.relu b cat in
+  let g = Builder.finish b in
+  let ctx = Rule.default_ctx in
+  match Taso_rules.concat_of_slices.apply ctx g with
+  | [] -> Alcotest.fail "no elimination"
+  | rw :: _ ->
+      Alcotest.(check int) "collapsed to input+relu" 2 (Graph.n_nodes rw.graph)
+
+let test_transpose_pair_elimination () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 4; 8; 2 ] ~dtype:Shape.F32 in
+  let t1 = Builder.transpose b ~perm:[| 1; 0; 2 |] x in
+  let t2 = Builder.transpose b ~perm:[| 1; 0; 2 |] t1 in
+  let _ = Builder.relu b t2 in
+  let g = Builder.finish b in
+  match Taso_rules.transpose_pairs.apply Rule.default_ctx g with
+  | [] -> Alcotest.fail "no elimination"
+  | rw :: _ ->
+      Alcotest.(check int) "transposes gone" 2 (Graph.n_nodes rw.graph)
+
+let test_add_reassociation_preserves () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 32 ] ~dtype:Shape.F32 in
+  let a1 = Builder.relu b x in
+  let a2 = Builder.tanh_ b x in
+  let a3 = Builder.sigmoid b x in
+  let s = Builder.add b (Builder.add b a1 a2) a3 in
+  let _ = Builder.relu b s in
+  let g = Builder.finish b in
+  match Taso_rules.add_reassociate.apply Rule.default_ctx g with
+  | [] -> Alcotest.fail "no reassociation"
+  | rw :: _ ->
+      Alcotest.(check int) "same node count" (Graph.n_nodes g)
+        (Graph.n_nodes rw.graph);
+      Alcotest.(check bool) "different structure" false
+        (Wl_hash.equal_structure g rw.graph)
+
+let test_sweep_remat_chains_copies () =
+  let c = cache () in
+  let g = subject () in
+  let schedule = Reorder.schedule ~max_states:0 g in
+  let ctx = ctx_for c g schedule in
+  match Sched_rules.sweep_rematerialization.apply ctx g with
+  | [] -> () (* no cheap hot tensors: acceptable on this subject *)
+  | rw :: _ ->
+      (* the rewrite is one compound step touching several nodes *)
+      Alcotest.(check bool) "touches several nodes" true
+        (Int_set.cardinal rw.touched_old >= 2);
+      ignore (Graph.topo_order rw.graph)
+
+let test_hotspot_restriction () =
+  let c = cache () in
+  let g = subject () in
+  let schedule = Reorder.schedule ~max_states:0 g in
+  let ctx = ctx_for c g schedule in
+  let restricted = Sched_rules.swapping.apply ctx g in
+  let unrestricted =
+    Sched_rules.swapping.apply { ctx with restrict_to_hotspots = false } g
+  in
+  Alcotest.(check bool) "heuristic prunes the rule space" true
+    (List.length restricted <= List.length unrestricted)
+
+let suite =
+  [
+    tc "all rules produce sound rewrites" test_all_rules_sound;
+    tc "swap/de-swap roundtrip" test_swap_then_deswap_roundtrip;
+    tc "remat/de-remat roundtrip" test_remat_then_deremat_roundtrip;
+    tc "swap reduces peak" test_swap_reduces_peak_with_reschedule;
+    tc "QKV merge (Fig. 1a)" test_qkv_merge;
+    tc "concat-of-slices elimination" test_concat_slice_elimination;
+    tc "transpose pair elimination" test_transpose_pair_elimination;
+    tc "add re-association" test_add_reassociation_preserves;
+    tc "sweep remat builds chains" test_sweep_remat_chains_copies;
+    tc "hot-spot restriction (§5.2)" test_hotspot_restriction;
+  ]

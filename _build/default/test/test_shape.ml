@@ -1,0 +1,83 @@
+open Magis
+open Helpers
+
+let test_create_and_access () =
+  let s = Shape.create ~dtype:Shape.F32 [ 2; 3; 4 ] in
+  Alcotest.(check int) "rank" 3 (Shape.rank s);
+  Alcotest.(check int) "dim 0" 2 (Shape.dim s 0);
+  Alcotest.(check int) "dim 2" 4 (Shape.dim s 2);
+  Alcotest.(check int) "numel" 24 (Shape.numel s);
+  Alcotest.(check int) "bytes f32" 96 (Shape.size_bytes s)
+
+let test_dtype_sizes () =
+  let numel = 10 in
+  let check dtype expect =
+    let s = Shape.create ~dtype [ numel ] in
+    Alcotest.(check int) (Shape.dtype_name dtype) expect (Shape.size_bytes s)
+  in
+  check Shape.F32 40;
+  check Shape.TF32 40;
+  check Shape.BF16 20;
+  check Shape.F16 20;
+  check Shape.I64 80;
+  check Shape.I32 40;
+  check Shape.Bool 10
+
+let test_invalid_shapes () =
+  Alcotest.check_raises "empty" (Invalid_argument "Shape.create: empty shape")
+    (fun () -> ignore (Shape.create []));
+  Alcotest.check_raises "zero dim"
+    (Invalid_argument "Shape.create: non-positive dim") (fun () ->
+      ignore (Shape.create [ 2; 0 ]))
+
+let test_split_dim () =
+  let s = Shape.create [ 8; 6 ] in
+  let half = Shape.split_dim s 0 2 in
+  Alcotest.(check int) "split 0 by 2" 4 (Shape.dim half 0);
+  Alcotest.(check int) "other dim unchanged" 6 (Shape.dim half 1);
+  let third = Shape.split_dim s 1 3 in
+  Alcotest.(check int) "split 1 by 3" 2 (Shape.dim third 1);
+  Alcotest.(check bool) "indivisible raises" true
+    (try ignore (Shape.split_dim s 0 3); false
+     with Invalid_argument _ -> true)
+
+let test_with_dim_and_concat () =
+  let s = Shape.create [ 4; 5 ] in
+  let t = Shape.with_dim s 1 9 in
+  Alcotest.(check int) "with_dim" 9 (Shape.dim t 1);
+  let u = Shape.concat_dim s 0 4 in
+  Alcotest.(check int) "concat_dim" 8 (Shape.dim u 0);
+  Alcotest.(check bool) "original untouched" true (Shape.dim s 1 = 5)
+
+let test_equal () =
+  let a = Shape.create ~dtype:Shape.F32 [ 2; 2 ] in
+  let b = Shape.create ~dtype:Shape.F32 [ 2; 2 ] in
+  let c = Shape.create ~dtype:Shape.BF16 [ 2; 2 ] in
+  let d = Shape.create ~dtype:Shape.F32 [ 2; 3 ] in
+  Alcotest.(check bool) "equal" true (Shape.equal a b);
+  Alcotest.(check bool) "dtype differs" false (Shape.equal a c);
+  Alcotest.(check bool) "dims differ" false (Shape.equal a d);
+  Alcotest.(check bool) "equal_dims ignores dtype" true (Shape.equal_dims a c)
+
+let test_hash_stability () =
+  let a = Shape.create [ 3; 7 ] in
+  let b = Shape.create [ 3; 7 ] in
+  let c = Shape.create [ 7; 3 ] in
+  Alcotest.(check bool) "same shapes same hash" true (Shape.hash a = Shape.hash b);
+  Alcotest.(check bool) "transposed dims differ" true (Shape.hash a <> Shape.hash c)
+
+let test_to_string () =
+  let s = Shape.create ~dtype:Shape.BF16 [ 2; 3 ] in
+  Alcotest.(check string) "printing" "bf16[2,3]" (Shape.to_string s)
+
+let suite =
+  [
+    tc "create and access" test_create_and_access;
+    tc "dtype sizes" test_dtype_sizes;
+    tc "invalid shapes" test_invalid_shapes;
+    tc "split_dim" test_split_dim;
+    tc "with_dim / concat_dim" test_with_dim_and_concat;
+    tc "equality" test_equal;
+    tc "hash stability" test_hash_stability;
+    tc "to_string" test_to_string;
+  ]

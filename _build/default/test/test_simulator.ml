@@ -1,0 +1,78 @@
+open Magis
+open Helpers
+
+let test_latency_is_sum_of_costs () =
+  let c = cache () in
+  let g, _, _, _, _ = chain3 ~n:1024 () in
+  let order = Graph.topo_order g in
+  let r = Simulator.run c g order in
+  Alcotest.(check (float 1e-9)) "no swaps: latency = compute busy"
+    r.compute_busy r.latency;
+  Alcotest.(check (float 1e-12)) "matches graph cost" (Op_cost.graph_cost c g)
+    r.latency
+
+let test_async_swap_overlaps () =
+  (* one swap whose transfer fits under plenty of compute: latency grows
+     less than the full transfer time *)
+  let c = cache () in
+  let b = Builder.create () in
+  let x = Builder.input b [ 512; 512 ] ~dtype:Shape.F32 in
+  let w = Builder.weight b [ 512; 512 ] ~dtype:Shape.F32 in
+  (* a long compute chain *)
+  let h = ref x in
+  for _ = 1 to 16 do
+    h := Builder.matmul b !h w
+  done;
+  let first = Builder.relu b x in
+  let st = Builder.op b Op.Store [ first ] in
+  let ld = Builder.op b Op.Load [ st ] in
+  let out = Builder.add b !h ld in
+  let g = Builder.finish b in
+  let order = Graph.topo_order g in
+  let r = Simulator.run c g order in
+  let transfer = 2.0 *. Op_cost.swap_time c (Shape.size_bytes (Graph.shape g first)) in
+  Alcotest.(check bool) "swap hidden under compute" true
+    (r.latency < r.compute_busy +. transfer);
+  Alcotest.(check bool) "copy stream busy" true (r.copy_busy > 0.0);
+  ignore out
+
+let test_saturated_copy_stream_stalls () =
+  (* tiny compute, huge transfers: the copy stream becomes the critical
+     path *)
+  let c = cache () in
+  let b = Builder.create () in
+  let x = Builder.input b [ 4_000_000 ] ~dtype:Shape.F32 in
+  let r1 = Builder.relu b x in
+  let st = Builder.op b Op.Store [ r1 ] in
+  let ld = Builder.op b Op.Load [ st ] in
+  let out = Builder.relu b ld in
+  let g = Builder.finish b in
+  let r = Simulator.run c g (Graph.topo_order g) in
+  Alcotest.(check bool) "latency dominated by copies" true
+    (r.latency >= r.copy_busy && r.copy_busy > r.compute_busy);
+  ignore out
+
+let test_cost_override () =
+  let c = cache () in
+  let g, _, _, _, _ = chain3 () in
+  let order = Graph.topo_order g in
+  let r = Simulator.run ~cost_of:(fun _ -> 0.5) c g order in
+  (* 3 relu nodes at 0.5 each; inputs execute for free *)
+  Alcotest.(check (float 1e-9)) "overridden" 1.5 r.latency
+
+let test_peak_matches_lifetime () =
+  let c = cache () in
+  let g = mlp_training () in
+  let order = Graph.topo_order g in
+  let r = Simulator.run c g order in
+  let a = Lifetime.analyze g order in
+  Alcotest.(check int) "peak consistent" (Lifetime.peak_memory a) r.peak_mem
+
+let suite =
+  [
+    tc "latency = sum of costs" test_latency_is_sum_of_costs;
+    tc "async swap overlaps compute" test_async_swap_overlaps;
+    tc "saturated copy stream stalls" test_saturated_copy_stream_stalls;
+    tc "cost override" test_cost_override;
+    tc "peak matches lifetime analysis" test_peak_matches_lifetime;
+  ]

@@ -1,0 +1,116 @@
+open Magis
+open Helpers
+module Int_set = Util.Int_set
+
+(* a same-conv chain: conv3x3(pad1) -> relu -> conv3x3(pad1) -> relu *)
+let conv_chain ?(image = 16) ?(ch = 4) () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 1; 3; image; image ] ~dtype:Shape.F32 in
+  let w1 = Builder.weight b [ ch; 3; 3; 3 ] ~dtype:Shape.F32 in
+  let c1 = Builder.conv2d ~padding:1 b x w1 in
+  let r1 = Builder.relu b c1 in
+  let w2 = Builder.weight b [ ch; ch; 3; 3 ] ~dtype:Shape.F32 in
+  let c2 = Builder.conv2d ~padding:1 b r1 w2 in
+  let r2 = Builder.relu b c2 in
+  (Builder.finish b, [ c1; r1; c2; r2 ], r2)
+
+let test_validate () =
+  let g, chain, _ = conv_chain () in
+  let f = { Spatial.chain; axis = 2; n = 2 } in
+  (match Spatial.validate g f with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid: %s" e);
+  (* accumulated halo: two pad-1 convs *)
+  Alcotest.(check (option int)) "halo = 2" (Some 2) (Spatial.chain_halo g chain);
+  (* parts thinner than the halo are rejected *)
+  Alcotest.(check bool) "n=8 parts too thin" false
+    (Spatial.is_valid g { f with n = 8 });
+  (* strided conv cannot join *)
+  let b = Builder.create () in
+  let x = Builder.input b [ 1; 3; 16; 16 ] ~dtype:Shape.F32 in
+  let w = Builder.weight b [ 4; 3; 3; 3 ] ~dtype:Shape.F32 in
+  let c = Builder.conv2d ~stride:2 ~padding:1 b x w in
+  let g2 = Builder.finish b in
+  Alcotest.(check bool) "strided conv rejected" false
+    (Spatial.is_valid g2 { Spatial.chain = [ c ]; axis = 2; n = 2 })
+
+let test_expand_shapes () =
+  let g, chain, last = conv_chain () in
+  let f = { Spatial.chain; axis = 2; n = 2 } in
+  let e = Spatial.expand g f in
+  Alcotest.(check bool) "replacement shaped like original" true
+    (Shape.equal_dims (Graph.shape g last) (Graph.shape e.graph e.replacement));
+  (* the expanded graph contains haloed slices and a concat *)
+  let has p = Graph.fold (fun n acc -> acc || p n.Graph.op) e.graph false in
+  Alcotest.(check bool) "has concat on H" true (has (fun o -> o = Op.Concat 2));
+  Alcotest.(check bool) "has slices" true
+    (has (function Op.Slice _ -> true | _ -> false));
+  ignore (Graph.topo_order e.graph)
+
+let test_expand_halo_extents () =
+  (* interior parts read step + 2*halo rows *)
+  let g, chain, _ = conv_chain ~image:16 () in
+  let f = { Spatial.chain; axis = 2; n = 4 } in
+  let e = Spatial.expand g f in
+  let slab_heights =
+    Graph.fold
+      (fun n acc ->
+        match n.op with
+        | Op.Slice { axis = 2; lo; hi } when Op.is_input (Graph.op e.graph n.inputs.(0)) ->
+            (hi - lo) :: acc
+        | _ -> acc)
+      e.graph []
+    |> List.sort compare
+  in
+  (* step=4, halo=2: edge slabs 6 rows, interior slabs 8 rows *)
+  Alcotest.(check (list int)) "slab heights" [ 6; 6; 8; 8 ] slab_heights
+
+let test_virtual_accounting_direction () =
+  let c = cache () in
+  let g, chain, _ = conv_chain ~image:64 ~ch:16 () in
+  let f = { Spatial.chain; axis = 2; n = 4 } in
+  let size_of, cost_of, extra = Spatial.accounting c g f in
+  let order = Graph.topo_order g in
+  let base = Simulator.run c g order in
+  let virt = Simulator.run ~size_of ~cost_of c g order in
+  Alcotest.(check bool) "peak reduced" true (virt.peak_mem < base.peak_mem);
+  Alcotest.(check bool) "latency increased" true
+    (virt.latency +. extra > base.latency)
+
+let test_candidates_on_unet_inference () =
+  let g = Unet.unet_inference ~batch:1 ~image:64 ~base:8 ~depth:3 () in
+  let cands = Spatial.candidates g in
+  Alcotest.(check bool) "found spatial chains" true (List.length cands >= 2);
+  List.iter
+    (fun (f : Spatial.t) ->
+      Alcotest.(check bool) "each candidate valid" true (Spatial.is_valid g f))
+    cands
+
+let test_spatial_beats_nothing_on_batch1 () =
+  (* batch-1 inference: regular batch fission has no leverage; spatial
+     fission reduces the peak *)
+  let c = cache () in
+  let g = Unet.unet_inference ~batch:1 ~image:64 ~base:8 ~depth:3 () in
+  let order = Graph.topo_order g in
+  let base = Simulator.run c g order in
+  match Spatial.candidates g with
+  | [] -> Alcotest.fail "no candidates"
+  | f :: _ ->
+      let e = Spatial.expand g { f with n = 2 } in
+      let order' = Reorder.schedule ~max_states:0 e.graph in
+      let r = Simulator.run c e.graph order' in
+      Alcotest.(check bool)
+        (Printf.sprintf "peak reduced (base %d, spatial %d)" base.peak_mem
+           r.peak_mem)
+        true
+        (r.peak_mem <= base.peak_mem)
+
+let suite =
+  [
+    tc "validation and halo arithmetic" test_validate;
+    tc "expansion shapes" test_expand_shapes;
+    tc "expansion halo extents" test_expand_halo_extents;
+    tc "virtual accounting direction" test_virtual_accounting_direction;
+    tc "candidates on UNet inference" test_candidates_on_unet_inference;
+    tc "spatial fission helps batch-1 inference" test_spatial_beats_nothing_on_batch1;
+  ]

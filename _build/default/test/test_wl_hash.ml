@@ -1,0 +1,78 @@
+open Magis
+open Helpers
+
+let test_renumbering_invariance () =
+  (* the same structure built in a different insertion order hashes
+     identically *)
+  let build order_swapped =
+    let b = Builder.create () in
+    let x = Builder.input b [ 8 ] ~dtype:Shape.F32 in
+    let l, r =
+      if order_swapped then
+        let r = Builder.tanh_ b x in
+        let l = Builder.relu b x in
+        (l, r)
+      else
+        let l = Builder.relu b x in
+        let r = Builder.tanh_ b x in
+        (l, r)
+    in
+    let _ = Builder.add b l r in
+    Builder.finish b
+  in
+  Alcotest.(check bool) "same hash" true
+    (Wl_hash.equal_structure (build false) (build true))
+
+let test_operand_order_matters () =
+  (* sub(a,b) and sub(b,a) must differ *)
+  let build swapped =
+    let b = Builder.create () in
+    let x = Builder.input b [ 8 ] ~dtype:Shape.F32 in
+    let l = Builder.relu b x in
+    let r = Builder.tanh_ b x in
+    let _ = if swapped then Builder.sub b r l else Builder.sub b l r in
+    Builder.finish b
+  in
+  Alcotest.(check bool) "different hash" false
+    (Wl_hash.equal_structure (build false) (build true))
+
+let test_shape_matters () =
+  let build n =
+    let g, _, _, _, _ = chain3 ~n () in
+    g
+  in
+  Alcotest.(check bool) "different sizes differ" false
+    (Wl_hash.equal_structure (build 16) (build 32))
+
+let test_op_matters () =
+  let g1, _, _, _, _ = chain3 () in
+  let b = Builder.create () in
+  let x = Builder.input b [ 16 ] ~dtype:Shape.F32 in
+  let t1 = Builder.relu b x in
+  let t2 = Builder.gelu b t1 in
+  let _ = Builder.relu b t2 in
+  let g2 = Builder.finish b in
+  Alcotest.(check bool) "gelu in the middle differs" false
+    (Wl_hash.equal_structure g1 g2)
+
+let test_extension_changes_hash () =
+  let g, x, _, _, _ = diamond () in
+  let h0 = Wl_hash.hash g in
+  let g2, _ = Graph.add g (Op.Unary Op.Neg) [ x ] in
+  Alcotest.(check bool) "adding a node changes hash" true (h0 <> Wl_hash.hash g2)
+
+let test_models_hash_deterministically () =
+  let g1 = mlp_training () in
+  let g2 = mlp_training () in
+  Alcotest.(check bool) "deterministic builders" true
+    (Wl_hash.equal_structure g1 g2)
+
+let suite =
+  [
+    tc "renumbering invariance" test_renumbering_invariance;
+    tc "operand order matters" test_operand_order_matters;
+    tc "shape matters" test_shape_matters;
+    tc "op matters" test_op_matters;
+    tc "extension changes hash" test_extension_changes_hash;
+    tc "deterministic across builds" test_models_hash_deterministically;
+  ]
