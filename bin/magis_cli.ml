@@ -4,7 +4,11 @@
     - [magis_cli inspect WORKLOAD] — graph statistics, D-Graph dimensions
       and F-Tree candidates;
     - [magis_cli optimize WORKLOAD (--max-overhead P | --mem-ratio R)] —
-      run the optimizer and print the resulting plan. *)
+      run the optimizer and print the resulting plan;
+    - [magis_cli verify WORKLOAD] — run the IR verifier and schedule
+      legality checker on a workload graph;
+    - [magis_cli lint-rules] — differential lint of every rewrite rule
+      over the model corpus ([dune build @lint]). *)
 
 open Magis
 
@@ -102,6 +106,64 @@ let cmd_codegen name full budget output =
       Printf.printf "wrote %s (%d lines)\n" path
         (List.length (String.split_on_char '\n' code))
 
+let cmd_verify name full =
+  let w, g = load name full in
+  let order = Graph.program_order g in
+  let diags = Verify.graph g @ Sched_check.schedule g order in
+  Printf.printf "%s: %d operator(s), %d scheduled step(s)\n" w.name
+    (Graph.n_nodes g) (List.length order);
+  if diags = [] then print_endline "verification clean"
+  else Fmt.pr "%a@." Diagnostic.pp_report diags;
+  if not (Diagnostic.is_clean diags) then exit 1
+
+(** Hand-built graph exercising the rewrite patterns the model zoo never
+    produces: a transpose∘transpose pair, a concat of contiguous slices
+    of one tensor, and a Store/Load swap pair (the de-swap rule). *)
+let patterns_graph () =
+  let g = Graph.empty in
+  let sh = Shape.create [ 2; 4; 8 ] in
+  let g, x = Graph.add_input ~label:"x" g Op.Placeholder sh in
+  let g, t1 = Graph.add g (Op.Transpose [| 0; 2; 1 |]) [ x ] in
+  let g, t2 = Graph.add g (Op.Transpose [| 0; 2; 1 |]) [ t1 ] in
+  let g, s1 = Graph.add g (Op.Slice { axis = 1; lo = 0; hi = 2 }) [ t2 ] in
+  let g, s2 = Graph.add g (Op.Slice { axis = 1; lo = 2; hi = 4 }) [ t2 ] in
+  let g, cat = Graph.add g (Op.Concat 1) [ s1; s2 ] in
+  let g, relu = Graph.add g (Op.Unary Op.Relu) [ cat ] in
+  let g, store = Graph.add g Op.Store [ relu ] in
+  let g, load = Graph.add g Op.Load [ store ] in
+  let g, _ = Graph.add g (Op.Binary Op.Add) [ load; x ] in
+  g
+
+(** Lint corpus: every Table 2 workload at [Quick] scale plus a few
+    seeded random NASNet-like graphs (small enough for the numeric
+    equivalence check to run on them). *)
+let lint_corpus seeds =
+  [ ("patterns", patterns_graph ()) ]
+  @ List.map
+      (fun (w : Zoo.workload) -> (w.name, w.build Zoo.Quick))
+      Zoo.all
+  @ List.map
+      (fun seed ->
+        ( Printf.sprintf "randnet-%d" seed,
+          Randnet.build
+            ~cfg:
+              { Randnet.cells = 1; nodes_per_cell = 3; channels = 8;
+                image = 8; batch = 2; seed }
+            () ))
+      seeds
+
+let cmd_lint_rules seeds max_per_rule interp_limit =
+  let corpus = lint_corpus (List.init seeds (fun i -> i + 1)) in
+  Printf.printf "corpus: %s\n%!"
+    (String.concat ", "
+       (List.map
+          (fun (name, g) -> Printf.sprintf "%s(%d)" name (Graph.n_nodes g))
+          corpus));
+  let rules = Taso_rules.all @ Sched_rules.all in
+  let report = Rule_lint.lint ~max_per_rule ~interp_limit ~rules corpus in
+  Fmt.pr "%a@." Rule_lint.pp_report report;
+  if not (Rule_lint.is_clean report) then exit 1
+
 let cmd_export name full fmt_ =
   let _, g = load name full in
   match fmt_ with
@@ -158,9 +220,35 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a workload graph")
     Term.(const cmd_export $ workload $ full $ fmt_)
 
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the IR verifier and schedule legality checker on a workload")
+    Term.(const cmd_verify $ workload $ full)
+
+let lint_rules_cmd =
+  let seeds =
+    Arg.(value & opt int 3
+         & info [ "seeds" ] ~doc:"Number of seeded random graphs in the corpus.")
+  in
+  let max_per_rule =
+    Arg.(value & opt int 4
+         & info [ "max-per-rule" ] ~doc:"Rewrites checked per rule and corpus graph.")
+  in
+  let interp_limit =
+    Arg.(value & opt int 80
+         & info [ "interp-limit" ]
+             ~doc:"Largest node count checked numerically on the interpreter.")
+  in
+  Cmd.v
+    (Cmd.info "lint-rules"
+       ~doc:"Differential lint of every rewrite rule over the model corpus")
+    Term.(const cmd_lint_rules $ seeds $ max_per_rule $ interp_limit)
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
-          [ list_cmd; inspect_cmd; optimize_cmd; codegen_cmd; export_cmd ]))
+          [ list_cmd; inspect_cmd; optimize_cmd; codegen_cmd; export_cmd;
+            verify_cmd; lint_rules_cmd ]))

@@ -1,0 +1,50 @@
+(** Structured diagnostics shared by every analysis pass. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  pass : string;
+  check : string;
+  node : int option;
+  rule : string option;
+  message : string;
+}
+
+let make severity ?node ?rule ~pass ~check message =
+  { severity; pass; check; node; rule; message }
+
+let error ?node ?rule ~pass ~check message =
+  make Error ?node ?rule ~pass ~check message
+
+let warning ?node ?rule ~pass ~check message =
+  make Warning ?node ?rule ~pass ~check message
+
+let errorf ?node ?rule ~pass ~check fmt =
+  Fmt.kstr (error ?node ?rule ~pass ~check) fmt
+
+let warningf ?node ?rule ~pass ~check fmt =
+  Fmt.kstr (warning ?node ?rule ~pass ~check) fmt
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let is_clean ds = not (List.exists is_error ds)
+let has_check name ds = List.exists (fun d -> d.check = name) ds
+
+let pp ppf d =
+  Fmt.pf ppf "%s: %s[%s]%a%a: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.pass d.check
+    (Fmt.option (fun ppf n -> Fmt.pf ppf " node %d" n))
+    d.node
+    (Fmt.option (fun ppf r -> Fmt.pf ppf " rule %s" r))
+    d.rule d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let pp_report ppf ds =
+  match ds with
+  | [] -> Fmt.pf ppf "clean"
+  | ds -> Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp) ds
+
+let report_to_string ds = Fmt.str "%a" pp_report ds

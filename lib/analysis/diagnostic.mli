@@ -1,0 +1,49 @@
+(** Structured diagnostics shared by every analysis pass.
+
+    Passes report problems as values rather than raising, so callers can
+    collect, filter, and render them — the LLVM [-verify] model.  Each
+    diagnostic carries the pass that produced it, a stable check name
+    (tests match on it), and optionally the offending node and the
+    rewrite rule under lint. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  pass : string;  (** producing pass: ["verify"], ["sched-check"], … *)
+  check : string;  (** stable check identifier, e.g. ["cycle"] *)
+  node : int option;  (** offending node id, when there is one *)
+  rule : string option;  (** rewrite rule under lint, when applicable *)
+  message : string;
+}
+
+val error : ?node:int -> ?rule:string -> pass:string -> check:string -> string -> t
+val warning : ?node:int -> ?rule:string -> pass:string -> check:string -> string -> t
+
+(** Printf-style constructors. *)
+val errorf :
+  ?node:int -> ?rule:string -> pass:string -> check:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
+  ?node:int -> ?rule:string -> pass:string -> check:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+
+(** Only the errors of a report. *)
+val errors : t list -> t list
+
+(** No errors (warnings allowed). *)
+val is_clean : t list -> bool
+
+(** Does some diagnostic of this check name appear? *)
+val has_check : string -> t list -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Multi-line report, one diagnostic per line. *)
+val pp_report : Format.formatter -> t list -> unit
+
+val report_to_string : t list -> string

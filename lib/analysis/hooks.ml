@@ -1,0 +1,17 @@
+(** Global verification switch (see the interface). *)
+
+let flag = ref (Sys.getenv_opt "MAGIS_VERIFY" <> None)
+let enabled () = !flag
+let set b = flag := b
+
+let assert_state ~what g order =
+  let diags = Verify.graph g @ Sched_check.schedule g order in
+  match Diagnostic.errors diags with
+  | [] -> ()
+  | errs ->
+      failwith
+        (Fmt.str "%s failed verification:@.%a" what Diagnostic.pp_report errs)
+
+let schedule ?(what = "schedule") g order =
+  if !flag then assert_state ~what g order;
+  order

@@ -1,0 +1,23 @@
+(** Global verification switch for debug builds and tests.
+
+    Production call sites thread schedules through {!schedule}, which is
+    the identity when verification is off (the default) and a full
+    {!Verify} + {!Sched_check} pass that raises on errors when it is on.
+    Enable with {!set}, or by setting the [MAGIS_VERIFY] environment
+    variable before start-up.  The test suite turns it on globally, so
+    every baseline and optimizer schedule exercised by the tests is
+    checked; benchmarks leave it off. *)
+
+open Magis_ir
+
+val enabled : unit -> bool
+val set : bool -> unit
+
+(** [schedule ~what g order] returns [order]; when verification is on it
+    first runs both passes and raises [Failure] (tagged [what]) on any
+    error. *)
+val schedule : ?what:string -> Graph.t -> int list -> int list
+
+(** Unconditional combined check (used by [Search.config.verify_states]):
+    raises [Failure] on IR or schedule errors regardless of {!enabled}. *)
+val assert_state : what:string -> Graph.t -> int list -> unit

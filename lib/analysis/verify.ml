@@ -1,0 +1,145 @@
+(** IR well-formedness verifier (see the interface for the check list).
+
+    Everything is recomputed from the public [Graph] interface — the
+    verifier deliberately does not trust any cached/derived structure it
+    is checking, and it must keep working on graphs broken in exactly the
+    ways it reports (so no [topo_order], which raises on cycles). *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+let pass = "verify"
+
+let err ?node ~check fmt = Diagnostic.errorf ?node ~pass ~check fmt
+
+let node_desc (n : Graph.node) =
+  Printf.sprintf "%d:%s%s" n.id (Op.name n.op)
+    (if n.label = "" then "" else "(" ^ n.label ^ ")")
+
+(* ------------------------------------------------------------------ *)
+(* Structure: operand slots, adjacency consistency                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_structure g =
+  Graph.fold
+    (fun n acc ->
+      let acc =
+        if Op.is_input n.op && Array.length n.inputs > 0 then
+          err ~node:n.id ~check:"input-with-operands"
+            "%s is an input operator but has %d operand(s)" (node_desc n)
+            (Array.length n.inputs)
+          :: acc
+        else acc
+      in
+      (* forward: every operand must exist and list us as a consumer *)
+      let acc =
+        Array.fold_left
+          (fun acc u ->
+            match Graph.node_opt g u with
+            | None ->
+                err ~node:n.id ~check:"dangling-input"
+                  "%s references unknown operand id %d" (node_desc n) u
+                :: acc
+            | Some _ ->
+                if Int_set.mem n.id (Graph.succ_set g u) then acc
+                else
+                  err ~node:n.id ~check:"succ-missing"
+                    "%s consumes node %d but is missing from its successor \
+                     set"
+                    (node_desc n) u
+                  :: acc)
+          acc n.inputs
+      in
+      (* backward: every recorded consumer must exist and consume us *)
+      Int_set.fold
+        (fun s acc ->
+          match Graph.node_opt g s with
+          | None ->
+              err ~node:n.id ~check:"succ-stale"
+                "%s lists unknown consumer id %d" (node_desc n) s
+              :: acc
+          | Some c ->
+              if Array.exists (( = ) n.id) c.inputs then acc
+              else
+                err ~node:n.id ~check:"succ-stale"
+                  "%s lists consumer %s which does not take it as an operand"
+                  (node_desc n) (node_desc c)
+                :: acc)
+        (Graph.succ_set g n.id) acc)
+    g []
+
+(* ------------------------------------------------------------------ *)
+(* Acyclicity                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Three-color DFS over the operand edges that exist; reports one
+    representative node per back edge found. *)
+let check_acyclic g =
+  let color = Hashtbl.create (Graph.n_nodes g) in
+  (* 0 = white (absent), 1 = on stack, 2 = done *)
+  let diags = ref [] in
+  let preds v =
+    List.filter (fun u -> Graph.mem g u) (Graph.pre g v)
+  in
+  let rec visit v =
+    match Hashtbl.find_opt color v with
+    | Some 2 -> ()
+    | Some _ ->
+        diags :=
+          err ~node:v ~check:"cycle"
+            "%s is on a dependency cycle"
+            (node_desc (Graph.node g v))
+          :: !diags;
+        Hashtbl.replace color v 2
+    | None ->
+        Hashtbl.replace color v 1;
+        List.iter visit (preds v);
+        Hashtbl.replace color v 2
+  in
+  Graph.iter (fun n -> visit n.id) g;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Shape consistency                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_shapes g =
+  Graph.fold
+    (fun n acc ->
+      if Op.is_input n.op then acc
+      else if not (Array.for_all (fun u -> Graph.mem g u) n.inputs) then
+        acc (* dangling operands already reported; cannot re-infer *)
+      else
+        let in_shapes = Array.map (fun u -> Graph.shape g u) n.inputs in
+        match Op.infer n.op in_shapes with
+        | Error msg ->
+            err ~node:n.id ~check:"shape-infer"
+              "%s no longer shape-checks against its operands: %s"
+              (node_desc n) msg
+            :: acc
+        | Ok inferred ->
+            if Shape.equal inferred n.shape then acc
+            else
+              err ~node:n.id ~check:"shape-mismatch"
+                "%s stores shape %s but re-inference yields %s" (node_desc n)
+                (Shape.to_string n.shape)
+                (Shape.to_string inferred)
+              :: acc)
+    g []
+
+let graph g =
+  let structure = check_structure g in
+  let cycles = check_acyclic g in
+  let shapes = check_shapes g in
+  List.sort
+    (fun (a : Diagnostic.t) (b : Diagnostic.t) ->
+      compare (a.node, a.check, a.message) (b.node, b.check, b.message))
+    (structure @ cycles @ shapes)
+
+let assert_ok ?(what = "graph") g =
+  match Diagnostic.errors (graph g) with
+  | [] -> ()
+  | errs ->
+      failwith
+        (Fmt.str "%s failed IR verification:@.%a" what Diagnostic.pp_report
+           errs)

@@ -1,0 +1,28 @@
+(** LLVM-style well-formedness verifier for {!Magis_ir.Graph.t}.
+
+    [graph g] re-derives every structural invariant the IR relies on and
+    returns the violations as diagnostics instead of raising:
+
+    - ["dangling-input"]: an operand slot references an id that is not in
+      the graph (reachable through {!Graph.replace_input} with a bogus
+      target);
+    - ["input-with-operands"]: an [Input]-kind node has operand slots;
+    - ["succ-missing"] / ["succ-stale"]: the [inputs] arrays and the
+      successor sets disagree (adjacency must be a consistent pair of
+      views of the same edge set);
+    - ["cycle"]: the graph is not a DAG;
+    - ["shape-infer"] / ["shape-mismatch"]: re-running {!Magis_ir.Op.infer}
+      on the stored operand shapes fails, or yields a shape different
+      from the stored one (stale shapes after an unchecked rewire).
+
+    The verifier never raises on malformed graphs — that is its point. *)
+
+open Magis_ir
+
+(** All diagnostics for [g], deterministic order (by node id, then
+    check). *)
+val graph : Graph.t -> Diagnostic.t list
+
+(** [assert_ok ?what g] raises [Failure] with a rendered report when
+    {!graph} finds errors. *)
+val assert_ok : ?what:string -> Graph.t -> unit

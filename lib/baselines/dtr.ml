@@ -19,7 +19,11 @@ type tensor_state = { mutable resident : bool; mutable last_access : int }
 
 let run ?(thrash_factor = 25) (cache : Op_cost.t) (g : Graph.t)
     ~(budget : int) : Outcome.t =
-  let order = Array.of_list (Graph.program_order g) in
+  let order =
+    Array.of_list
+      (Magis_analysis.Hooks.schedule ~what:"DTR baseline" g
+         (Graph.program_order g))
+  in
   let n = Array.length order in
   let states = Hashtbl.create n in
   let state v =

@@ -71,7 +71,11 @@ let run aggressiveness (cache : Op_cost.t) (g : Graph.t) : Outcome.t =
       let c = if fused_out then c -. output_write -. hw.Hardware.launch_overhead else c in
       Float.max (hw.Hardware.launch_overhead /. 4.0) c
   in
-  let res = Simulator.run ~cost_of cache g (Graph.program_order g) in
+  let res =
+    Simulator.run ~cost_of cache g
+      (Magis_analysis.Hooks.schedule ~what:"fusion-compiler baseline" g
+         (Graph.program_order g))
+  in
   {
     Outcome.system =
       (match aggressiveness with Tvm -> "TVM" | Torch_inductor -> "TI");

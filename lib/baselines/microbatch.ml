@@ -15,6 +15,11 @@ let run (cache : Op_cost.t) ~(build : int -> Graph.t) ~(batch : int)
   if batch mod factor <> 0 then
     invalid_arg "Microbatch.run: factor must divide the batch size";
   let sub = build (batch / factor) in
+  (* the micro-batch sub-graph is freshly built: verify it (and its
+     execution order) before handing it to POFO when hooks are on *)
+  ignore
+    (Magis_analysis.Hooks.schedule ~what:"micro-batch sub-graph" sub
+       (Graph.program_order sub));
   let o = Pofo.run cache sub ~budget in
   let name = Printf.sprintf "POFO(factor=%d)" factor in
   if not o.feasible then Outcome.infeasible name

@@ -24,7 +24,11 @@ type policy = Keep | Recompute | Offload
 
 (** Outcome of running the training graph under a memory [budget]. *)
 let run (cache : Op_cost.t) (g : Graph.t) ~(budget : int) : Outcome.t =
-  let base = Simulator.run cache g (Graph.program_order g) in
+  let base =
+    Simulator.run cache g
+      (Magis_analysis.Hooks.schedule ~what:"POFO baseline" g
+         (Graph.program_order g))
+  in
   if base.peak_mem <= budget then
     { Outcome.system = "POFO"; peak_mem = base.peak_mem;
       latency = base.latency; feasible = true }

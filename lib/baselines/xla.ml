@@ -11,7 +11,11 @@ open Magis_ir
 open Magis_cost
 
 let run (cache : Op_cost.t) (g : Graph.t) ~(budget : int) : Outcome.t =
-  let base = Simulator.run cache g (Graph.program_order g) in
+  let base =
+    Simulator.run cache g
+      (Magis_analysis.Hooks.schedule ~what:"XLA baseline" g
+         (Graph.program_order g))
+  in
   if base.peak_mem <= budget then
     { Outcome.system = "XLA"; peak_mem = base.peak_mem;
       latency = base.latency; feasible = true }

@@ -32,6 +32,13 @@ module Fission = Magis_ftree.Fission
 module Ftree = Magis_ftree.Ftree
 module Spatial = Magis_ftree.Spatial
 
+(* static analysis: IR verifier, schedule checker, rule lint *)
+module Diagnostic = Magis_analysis.Diagnostic
+module Verify = Magis_analysis.Verify
+module Sched_check = Magis_analysis.Sched_check
+module Rule_lint = Magis_analysis.Rule_lint
+module Analysis_hooks = Magis_analysis.Hooks
+
 (* transformation rules *)
 module Rule = Magis_rules.Rule
 module Sched_rules = Magis_rules.Sched_rules

@@ -89,14 +89,20 @@ let add_input ?(label = "") g kind shape =
     from the input shapes.  Raises [Invalid_argument] on malformed use. *)
 let add ?(label = "") g op inputs =
   let ins = Array.of_list inputs in
+  let describe () =
+    if label = "" then Op.name op
+    else Printf.sprintf "%s(%s)" (Op.name op) label
+  in
   Array.iter
     (fun i ->
       if not (mem g i) then
-        invalid_arg (Printf.sprintf "Graph.add: unknown input id %d" i))
+        invalid_arg
+          (Printf.sprintf "Graph.add: %s: unknown input id %d" (describe ()) i))
     ins;
   let in_shapes = Array.map (fun i -> (node g i).shape) ins in
   match Op.infer op in_shapes with
-  | Error msg -> invalid_arg (Printf.sprintf "Graph.add: %s" msg)
+  | Error msg ->
+      invalid_arg (Printf.sprintf "Graph.add: %s: %s" (describe ()) msg)
   | Ok shape ->
       let id = g.next_id in
       let n = { id; op; shape; label; inputs = ins } in
@@ -106,8 +112,15 @@ let add ?(label = "") g op inputs =
 (** Remove a node with no consumers. *)
 let remove g id =
   let n = node g id in
-  if not (Int_set.is_empty (succ_set g id)) then
-    invalid_arg "Graph.remove: node still has consumers";
+  let consumers = succ_set g id in
+  if not (Int_set.is_empty consumers) then
+    invalid_arg
+      (Printf.sprintf
+         "Graph.remove: node %d:%s%s still has consumers [%s]" id
+         (Op.name n.op)
+         (if n.label = "" then "" else "(" ^ n.label ^ ")")
+         (String.concat ","
+            (List.map string_of_int (Int_set.elements consumers))));
   let succs = Array.fold_left (fun s src -> remove_succ s src id) g.succs n.inputs in
   { g with nodes = Int_map.remove id g.nodes; succs = Int_map.remove id succs }
 

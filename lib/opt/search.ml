@@ -107,6 +107,10 @@ type config = {
       (** every few pops, take a random queue bucket instead of the best
           (escapes local optima created by aggressive early rewrites) *)
   use_sweep_rules : bool;  (** compound swap/remat rules *)
+  verify_states : bool;
+      (** debug: run the IR verifier and schedule legality checker on
+          every accepted M-state, raising on the first violation (tests
+          and CI turn this on; benchmarks leave it off) *)
 }
 
 let default_config =
@@ -118,6 +122,7 @@ let default_config =
     max_iterations = max_int;
     diversify_pops = true;
     use_sweep_rules = true;
+    verify_states = false;
   }
 
 let timed _stats fld_t fld_n f =
@@ -211,12 +216,19 @@ let evaluate_proposal (cfg : config) (cache : Op_cost.t) stats
           ~old_graph:s.graph ~new_graph:p.p_graph ~old_schedule:s.schedule
           ~mutated_old:p.p_mutated ~size_of:acc.size_of ())
   in
-  timed stats
-    (fun dt -> stats.t_simul <- stats.t_simul +. dt)
-    (fun () -> stats.n_simul <- stats.n_simul + 1)
-    (fun () ->
-      Mstate.evaluate ~ftree_stale:p.p_stale cache p.p_graph p.p_ftree
-        schedule)
+  let s' =
+    timed stats
+      (fun dt -> stats.t_simul <- stats.t_simul +. dt)
+      (fun () -> stats.n_simul <- stats.n_simul + 1)
+      (fun () ->
+        Mstate.evaluate ~ftree_stale:p.p_stale cache p.p_graph p.p_ftree
+          schedule)
+  in
+  if cfg.verify_states then
+    Magis_analysis.Hooks.assert_state
+      ~what:(Printf.sprintf "M-state (iteration %d)" stats.iterations)
+      s'.graph s'.schedule;
+  s'
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
@@ -245,6 +257,9 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
     if config.ablation.use_ftree_heuristic then s
     else { s with ftree = Ftree.construct_naive graph }
   in
+  if config.verify_states then
+    Magis_analysis.Hooks.assert_state ~what:"initial M-state" init.graph
+      init.schedule;
   let best = ref init in
   let history = ref [ (elapsed (), init.peak_mem, init.latency) ] in
   let seen = Hashtbl.create 1024 in

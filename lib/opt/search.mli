@@ -50,6 +50,11 @@ type config = {
       (** every few pops, take a random queue bucket instead of the best
           (escapes local optima created by aggressive early rewrites) *)
   use_sweep_rules : bool;  (** compound swap/remat rules *)
+  verify_states : bool;
+      (** debug: run {!Magis_analysis.Verify} and
+          {!Magis_analysis.Sched_check} on every accepted M-state,
+          raising [Failure] on the first violation (tests/CI on,
+          benchmarks off) *)
 }
 
 val default_config : config

@@ -89,11 +89,16 @@ let de_swapping : Rule.t =
                   let store = n.inputs.(0) in
                   let src = (Graph.node g store).inputs.(0) in
                   if Graph.out_degree g store = 1 then
+                    (* the Load's consumers are rewired onto [src]:
+                       their operand slots change, so they belong to the
+                       touched region Algorithm 2 re-schedules around *)
+                    let rewired = Graph.suc g n.id in
                     let g = Graph.redirect g ~from_:n.id ~to_:src in
                     let g = Graph.remove g n.id in
                     let g = Graph.remove g store in
                     { Rule.rule = "de-swap"; graph = g;
-                      touched_old = Int_set.of_list [ n.id; store; src ] }
+                      touched_old =
+                        Int_set.of_list (n.id :: store :: src :: rewired) }
                     :: acc
                   else acc
               | _ -> acc)
@@ -162,10 +167,11 @@ let de_rematerialization : Rule.t =
             (fun _ ids acc ->
               match List.sort compare ids with
               | a :: b :: _ when Rule.unfrozen ctx a && Rule.unfrozen ctx b ->
+                  let rewired = Graph.suc g b in
                   let g = Graph.redirect g ~from_:b ~to_:a in
                   let g = Graph.remove g b in
                   { Rule.rule = "de-remat"; graph = g;
-                    touched_old = Int_set.of_list [ a; b ] }
+                    touched_old = Int_set.of_list (a :: b :: rewired) }
                   :: acc
               | _ -> acc)
             tbl []

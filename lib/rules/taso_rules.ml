@@ -97,10 +97,14 @@ let merge_parallel : Rule.t =
                   (fun acc group ->
                     match merge_group g n.id group with
                     | g' ->
+                        (* the group's consumers are rewired onto the new
+                           slices — part of the touched region *)
+                        let rewired = List.concat_map (Graph.suc g) group in
                         {
                           Rule.rule = "a-trans-merge";
                           graph = g';
-                          touched_old = Int_set.of_list (n.id :: group);
+                          touched_old =
+                            Int_set.of_list ((n.id :: group) @ rewired);
                         }
                         :: acc
                     | exception Invalid_argument _ -> acc)
@@ -160,6 +164,7 @@ let concat_of_slices : Rule.t =
                         match List.rev parts with (_, _, _, h) :: _ -> h | [] -> 0
                       in
                       let full = Shape.dim (Graph.shape g src) axis in
+                      let rewired = Graph.suc g n.id in
                       let g, repl =
                         if lo = 0 && hi = full then (g, src)
                         else Graph.add g (Op.Slice { axis; lo; hi }) [ src ]
@@ -174,7 +179,8 @@ let concat_of_slices : Rule.t =
                           graph = g;
                           touched_old =
                             Int_set.of_list
-                              (n.id :: List.map (fun (u, _, _, _) -> u) parts);
+                              ((n.id :: rewired)
+                              @ List.map (fun (u, _, _, _) -> u) parts);
                         }
                         :: acc
                       else acc
@@ -206,13 +212,14 @@ let transpose_pairs : Rule.t =
                               (Array.init (Array.length p1) Fun.id) ->
                       let keep = Int_set.of_list (Graph.outputs g) in
                       let src = (Graph.node g u).inputs.(0) in
+                      let rewired = Graph.suc g n.id in
                       let g = Graph.redirect g ~from_:n.id ~to_:src in
                       let g = Graph.remove g n.id in
                       let g = Graph.prune_dead ~keep g in
                       {
                         Rule.rule = "i-trans-transpose";
                         graph = g;
-                        touched_old = Int_set.of_list [ n.id; u ];
+                        touched_old = Int_set.of_list (n.id :: u :: rewired);
                       }
                       :: acc
                   | _ -> acc)
@@ -242,6 +249,7 @@ let add_reassociate : Rule.t =
                       let a = (Graph.node g l).inputs.(0) in
                       let b = (Graph.node g l).inputs.(1) in
                       let keep = Int_set.of_list (Graph.outputs g) in
+                      let rewired = Graph.suc g n.id in
                       let g', bc = Graph.add g (Op.Binary Op.Add) [ b; r ] in
                       let g', abc = Graph.add g' (Op.Binary Op.Add) [ a; bc ] in
                       let g' = Graph.redirect g' ~from_:n.id ~to_:abc in
@@ -250,7 +258,7 @@ let add_reassociate : Rule.t =
                       {
                         Rule.rule = "i-trans-add-assoc";
                         graph = g';
-                        touched_old = Int_set.of_list [ n.id; l ];
+                        touched_old = Int_set.of_list (n.id :: l :: rewired);
                       }
                       :: acc
                   | _ -> acc)

@@ -3,9 +3,33 @@
 open Magis
 module B = Builder
 
+(* Arm the analysis hooks for the whole suite: every schedule a baseline
+   emits is verified before it reaches the simulator. *)
+let () = Analysis_hooks.set true
+
 let cache () = Op_cost.create Hardware.default
 
 let shape dims = Shape.create dims
+
+(** Fail the test with the diagnostic report unless the IR verifier
+    finds the graph clean (warnings allowed). *)
+let verify_clean ?(what = "graph") g =
+  let diags = Verify.graph g in
+  if not (Diagnostic.is_clean diags) then
+    Alcotest.failf "%s: %s" what (Diagnostic.report_to_string diags)
+
+(** Same for the schedule legality checker. *)
+let schedule_clean ?(what = "schedule") g order =
+  let diags = Sched_check.schedule g order in
+  if not (Diagnostic.is_clean diags) then
+    Alcotest.failf "%s: %s" what (Diagnostic.report_to_string diags)
+
+(** [verified g] returns [g] after asserting verifier-cleanliness —
+    wraps the fixture builders below so every suite using them gets the
+    check for free. *)
+let verified ?what g =
+  verify_clean ?what g;
+  g
 
 (** [a -> b -> c] chain of unary ops over a [n]-element tensor. *)
 let chain3 ?(n = 16) () =
@@ -14,7 +38,7 @@ let chain3 ?(n = 16) () =
   let r1 = B.relu b x in
   let r2 = B.relu b r1 in
   let r3 = B.relu b r2 in
-  (B.finish b, x, r1, r2, r3)
+  (verified ~what:"chain3" (B.finish b), x, r1, r2, r3)
 
 (** Diamond: x feeding two branches that join in an add. *)
 let diamond ?(n = 16) () =
@@ -23,7 +47,7 @@ let diamond ?(n = 16) () =
   let l = B.relu b x in
   let r = B.tanh_ b x in
   let j = B.add b l r in
-  (B.finish b, x, l, r, j)
+  (verified ~what:"diamond" (B.finish b), x, l, r, j)
 
 (** A two-layer MLP training graph (the Fig. 5 structure): two dense
     layers with ReLU, sum loss, full backward pass. *)
@@ -35,7 +59,7 @@ let mlp_training ?(batch = 8) ?(hidden = 16) () =
   let h = B.relu b (B.dense b x w1) in
   let y = B.dense b h w2 in
   let loss = B.sum_loss b y in
-  Autodiff.backward (B.finish b) ~loss
+  verified ~what:"mlp_training" (Autodiff.backward (B.finish b) ~loss)
 
 (** Self-attention block graph of the paper's Fig. 4. *)
 let attention ?(batch = 4) ?(seq = 8) ?(hidden = 16) ?(heads = 2) () =
@@ -46,7 +70,7 @@ let attention ?(batch = 4) ?(seq = 8) ?(hidden = 16) ?(heads = 2) () =
   let b = B.create () in
   let x = B.input b [ batch; seq; hidden ] ~dtype:Shape.F32 in
   let y = Transformer.block b x c in
-  (B.finish b, x, y)
+  (verified ~what:"attention" (B.finish b), x, y)
 
 let int_set = Util.Int_set.of_list
 

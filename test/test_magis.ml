@@ -19,6 +19,7 @@ let () =
       ("sched", Test_sched.suite);
       ("incremental", Test_incremental.suite);
       ("rules", Test_rules.suite);
+      ("verify", Test_verify.suite);
       ("autodiff", Test_autodiff.suite);
       ("models", Test_models.suite);
       ("baselines", Test_baselines.suite);

@@ -6,8 +6,11 @@ let subject () =
     { Transformer.batch = 8; seq_len = 32; hidden = 64; heads = 4;
       layers = 2; vocab = 128; dtype = Shape.F32 }
 
+(* verify_states: every M-state the search accepts is run through the
+   IR verifier and schedule checker (cheap at test scale) *)
 let config budget =
-  { Search.default_config with time_budget = budget; max_iterations = 200 }
+  { Search.default_config with
+    time_budget = budget; max_iterations = 200; verify_states = true }
 
 let test_memory_mode_respects_constraint () =
   let c = cache () in
@@ -24,7 +27,9 @@ let test_latency_mode_respects_constraint () =
   let c = cache () in
   let g = subject () in
   let base = Simulator.run c g (Graph.program_order g) in
-  let r = Search.optimize_latency ~config:(config 2.0) c ~mem_ratio:0.7 g in
+  (* state verification roughly halves search throughput; give this
+     constraint-tightest test a correspondingly larger budget *)
+  let r = Search.optimize_latency ~config:(config 4.0) c ~mem_ratio:0.7 g in
   let limit = int_of_float (float_of_int base.peak_mem *. 0.7) in
   Alcotest.(check bool) "memory within 70%" true (r.best.peak_mem <= limit);
   Alcotest.(check bool) "schedule valid" true
