@@ -5,19 +5,31 @@ open Magis
 
 type env = {
   cache : Op_cost.t;
+  sim_cache : Sim_cache.t;
+      (** shared across every search of a bench run, so ablation and
+          budget sweeps replay previously simulated states for free *)
   scale : Zoo.scale;
   budget : float;  (** seconds of search per MAGIS optimization *)
+  jobs : int;  (** worker domains per search (1 = serial) *)
+  iters : int;  (** iteration cap per search (CI smoke uses a tight one) *)
 }
 
-let make_env ~full ~budget =
+let make_env ?(jobs = 1) ?(iters = max_int) ~full ~budget () =
   {
     cache = Op_cost.create Hardware.default;
+    sim_cache = Sim_cache.create ();
     scale = (if full then Zoo.Full else Zoo.Quick);
     budget;
+    jobs;
+    iters;
   }
 
 let search_config env =
-  { Search.default_config with time_budget = env.budget }
+  { Search.default_config with
+    time_budget = env.budget;
+    max_iterations = env.iters;
+    jobs = env.jobs;
+    sim_cache = Some env.sim_cache }
 
 (** Unoptimized PyTorch reference for a workload. *)
 let baseline env g = Naive.run env.cache g
@@ -115,6 +127,15 @@ let print_matrix ~row_names ~col_names cells =
     row_names
 
 let workload_graph env (w : Zoo.workload) = w.build env.scale
+
+(** The smallest Table-2 workload at the current scale, by operator
+    count — the subject of the CI bench-smoke job and the parallel
+    speedup experiment. *)
+let smallest_workload env =
+  List.map (fun (w : Zoo.workload) -> (w, workload_graph env w)) Zoo.all
+  |> List.sort (fun ((wa : Zoo.workload), a) ((wb : Zoo.workload), b) ->
+         compare (Graph.n_nodes a, wa.name) (Graph.n_nodes b, wb.name))
+  |> List.hd
 
 (** Workloads used by the headline experiments; the very large LMs are
     optionally excluded when iterating quickly. *)

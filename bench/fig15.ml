@@ -30,4 +30,10 @@ let run (env : Common.env) =
     (float_of_int r.best.peak_mem /. 1e6)
     (r.best.latency *. 1e3);
   let hits, misses = Op_cost.stats env.cache in
-  Printf.printf "Operator cost cache: %d hits, %d misses\n" hits misses
+  Printf.printf "Operator cost cache: %d hits, %d misses\n" hits misses;
+  Printf.printf "Simulation cache: %d hits, %d misses\n" st.n_sim_hit
+    st.n_sim_miss;
+  Printf.printf "Expansion workers: %d; per-domain busy seconds: [%s]\n"
+    env.jobs
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.2f") st.domain_time)))

@@ -21,10 +21,11 @@ let experiments : (string * (Common.env -> unit)) list =
     ("micro", Micro.run);
     ("design", Design.run);
     ("spatial", Spatial_bench.run);
+    ("par", Par_bench.run);
   ]
 
-let run_selected names full budget =
-  let env = Common.make_env ~full ~budget in
+let run_selected names full budget jobs iters =
+  let env = Common.make_env ~jobs ~iters ~full ~budget () in
   let selected =
     match names with
     | [] | [ "all" ] -> experiments
@@ -59,10 +60,21 @@ let budget =
   let doc = "Search time budget per MAGIS optimization, in seconds." in
   Arg.(value & opt float 5.0 & info [ "budget" ] ~doc)
 
+let jobs =
+  let doc = "Worker domains per search (1 = serial legacy path)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
+let iters =
+  let doc =
+    "Iteration cap per search (in addition to the time budget); the CI \
+     bench-smoke job uses a tight cap."
+  in
+  Arg.(value & opt int max_int & info [ "iters" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the MAGIS paper's evaluation tables and figures" in
   Cmd.v
     (Cmd.info "magis-bench" ~doc)
-    Term.(const run_selected $ names $ full $ budget)
+    Term.(const run_selected $ names $ full $ budget $ jobs $ iters)
 
 let () = exit (Cmd.eval cmd)

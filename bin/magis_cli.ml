@@ -50,11 +50,11 @@ let cmd_inspect name full =
       (Util.Int_set.cardinal (Fission.members e.fission))
   done
 
-let cmd_optimize name full overhead mem_ratio budget =
+let cmd_optimize name full overhead mem_ratio budget jobs =
   let w, g = load name full in
   let cache = Op_cost.create Hardware.default in
   let base = Simulator.run cache g (Graph.program_order g) in
-  let config = { Search.default_config with time_budget = budget } in
+  let config = { Search.default_config with time_budget = budget; jobs } in
   let result =
     match (overhead, mem_ratio) with
     | Some o, _ -> Search.optimize_memory ~config cache ~overhead:o g
@@ -71,6 +71,9 @@ let cmd_optimize name full overhead mem_ratio budget =
     (List.length (Ftree.enabled_indices best.ftree))
     (Graph.fold (fun n a -> if n.op = Op.Store then a + 1 else a) best.graph 0)
     result.stats.iterations;
+  if jobs > 1 then
+    Printf.printf "  expansion: %d worker domain(s), sim cache %d hits / %d misses\n"
+      jobs result.stats.n_sim_hit result.stats.n_sim_miss;
   List.iter
     (fun i ->
       let f = Ftree.fission_at best.ftree i in
@@ -195,8 +198,14 @@ let optimize_cmd =
   let budget =
     Arg.(value & opt float 10.0 & info [ "budget" ] ~doc:"Search seconds.")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for candidate expansion (1 = serial).")
+  in
   Cmd.v (Cmd.info "optimize" ~doc:"Optimize a workload")
-    Term.(const cmd_optimize $ workload $ full $ overhead $ mem_ratio $ budget)
+    Term.(const cmd_optimize $ workload $ full $ overhead $ mem_ratio $ budget
+          $ jobs)
 
 let codegen_cmd =
   let budget =

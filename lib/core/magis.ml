@@ -25,6 +25,11 @@ module Op_cost = Magis_cost.Op_cost
 module Lifetime = Magis_cost.Lifetime
 module Simulator = Magis_cost.Simulator
 module Allocator = Magis_cost.Allocator
+module Sim_cache = Magis_cost.Sim_cache
+
+(* parallel runtime: domain pool and striped-lock table *)
+module Pool = Magis_par.Pool
+module Striped = Magis_par.Striped
 
 (* dimension graph and fission *)
 module Dgraph = Magis_dgraph.Dgraph

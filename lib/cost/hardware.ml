@@ -44,6 +44,18 @@ let mobile =
 
 let default = rtx3090
 
+(** Stable 64-bit digest of the full device model.  Two hardware values
+    with the same fingerprint produce identical simulator results, so
+    the fingerprint can key cached simulations ({!Magis_cost.Sim_cache}). *)
+let fingerprint (t : t) : int64 =
+  let open Magis_ir.Util in
+  let h = hash_string t.name in
+  let h = hash_combine h (Int64.bits_of_float t.peak_flops) in
+  let h = hash_combine h (Int64.bits_of_float t.mem_bandwidth) in
+  let h = hash_combine h (Int64.bits_of_float t.swap_bandwidth) in
+  let h = hash_combine h (Int64.bits_of_float t.launch_overhead) in
+  hash_combine h (Int64.of_int t.device_memory)
+
 let pp ppf t =
   Fmt.pf ppf "%s(%.1f TFLOPs, %.0f GB/s mem, %.0f GB/s swap, %d GB)" t.name
     (t.peak_flops /. 1e12)

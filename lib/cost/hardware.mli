@@ -20,4 +20,9 @@ val rtx3090 : t
 val mobile : t
 
 val default : t
+
+(** Stable 64-bit digest of the device model; equal fingerprints mean
+    identical simulator behaviour (used to key the simulation cache). *)
+val fingerprint : t -> int64
+
 val pp : Format.formatter -> t -> unit

@@ -3,18 +3,28 @@
     [cost] plays the role of the paper's operator performance cache: the
     first query for an (operator, shapes) key computes the latency from the
     hardware model; later queries hit the cache.  The cache hit/miss
-    counters feed the Fig. 15 time-breakdown experiment. *)
+    counters feed the Fig. 15 time-breakdown experiment.
+
+    The table is shared by every domain of the parallel expansion pool
+    ({!Magis_par.Pool}), so lookups and insertions take [lock]; the
+    analytic latency itself is computed outside the critical section.
+    A race between two domains computing the same key is benign — both
+    compute the same deterministic value and the second [replace] is a
+    no-op in effect. *)
 
 open Magis_ir
 
 type t = {
   hw : Hardware.t;
   cache : (int64, float) Hashtbl.t;
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create hw = { hw; cache = Hashtbl.create 1024; hits = 0; misses = 0 }
+let create hw =
+  { hw; cache = Hashtbl.create 1024; lock = Mutex.create (); hits = 0;
+    misses = 0 }
 
 let key (op : Op.kind) (ins : Shape.t array) =
   let h = Op.fingerprint op in
@@ -34,14 +44,19 @@ let compute_raw (hw : Hardware.t) (op : Op.kind) (ins : Shape.t array)
 
 let cost t (op : Op.kind) (ins : Shape.t array) (out : Shape.t) : float =
   let k = key op ins in
+  Mutex.lock t.lock;
   match Hashtbl.find_opt t.cache k with
   | Some c ->
       t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
       c
   | None ->
       t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
       let c = compute_raw t.hw op ins out in
-      Hashtbl.add t.cache k c;
+      Mutex.lock t.lock;
+      Hashtbl.replace t.cache k c;
+      Mutex.unlock t.lock;
       c
 
 (** Latency of a node of graph [g]. *)
@@ -59,5 +74,14 @@ let swap_time t (bytes : int) : float =
 let graph_cost t (g : Graph.t) : float =
   Graph.fold (fun n acc -> acc +. node_cost t g n.id) g 0.0
 
-let stats t = (t.hits, t.misses)
-let reset_stats t = t.hits <- 0; t.misses <- 0
+let stats t =
+  Mutex.lock t.lock;
+  let r = (t.hits, t.misses) in
+  Mutex.unlock t.lock;
+  r
+
+let reset_stats t =
+  Mutex.lock t.lock;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock

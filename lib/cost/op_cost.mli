@@ -1,13 +1,15 @@
 (** Analytic operator latency with a memoizing cache — the role of the
-    paper's operator performance cache (§6.2). *)
+    paper's operator performance cache (§6.2).  Domain-safe: the memo
+    table is shared by the parallel expansion workers behind [lock]. *)
 
 open Magis_ir
 
 type t = {
   hw : Hardware.t;
-  cache : (int64, float) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+  cache : (int64, float) Hashtbl.t;  (** guarded by [lock] *)
+  lock : Mutex.t;
+  mutable hits : int;  (** guarded by [lock] *)
+  mutable misses : int;  (** guarded by [lock] *)
 }
 
 val create : Hardware.t -> t

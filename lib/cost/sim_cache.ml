@@ -1,0 +1,49 @@
+(** Simulation cache (see the interface for the keying discipline). *)
+
+open Magis_ir
+
+type value = {
+  schedule : int list;
+  peak_mem : int;
+  latency : float;
+  hotspots : int list;
+}
+
+type t = {
+  tbl : value Magis_par.Striped.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?stripes () =
+  {
+    tbl = Magis_par.Striped.create ?stripes ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let key ~state ~parent_sched ~mutated ~sched_states ~mode ~hw =
+  let h = Util.hash_combine state parent_sched in
+  let h = Util.hash_combine h mutated in
+  let h = Util.hash_combine h (Int64.of_int sched_states) in
+  let h = Util.hash_combine h mode in
+  Util.hash_combine h hw
+
+let find t k =
+  match Magis_par.Striped.find t.tbl k with
+  | Some _ as r ->
+      Atomic.incr t.hits;
+      r
+  | None ->
+      Atomic.incr t.misses;
+      None
+
+let add t k v = Magis_par.Striped.add t.tbl k v
+let stats t = (Atomic.get t.hits, Atomic.get t.misses)
+
+let reset_stats t =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0
+
+let length t = Magis_par.Striped.length t.tbl
+let clear t = Magis_par.Striped.clear t.tbl

@@ -1,0 +1,54 @@
+(** Simulation cache: memoizes the (reschedule → simulate) evaluation of
+    an M-state so repeated searches over the same workload — ablation
+    sweeps, budget sweeps, serial/parallel A-B runs — skip both phases
+    on states they have already evaluated.
+
+    The key digests everything the evaluation depends on: the state's
+    structural identity (WL hash of the graph ⊕ F-Tree fingerprint), the
+    parent schedule and mutated-node set driving the incremental
+    reschedule, the DP state budget, the search mode (so the two
+    optimization modes can never collide) and the hardware fingerprint.
+    All inputs being digested, a hit returns bit-identical results to a
+    recomputation; searches sharing a cache stay deterministic.
+
+    The table is a striped-lock table ({!Magis_par.Striped}) shared
+    across the expansion pool's domains; hit/miss counters are atomic
+    and surface through [Search.stats] and the Fig. 15 bench output. *)
+
+(** Cached outcome of evaluating one M-state. *)
+type value = {
+  schedule : int list;  (** result of the incremental reschedule *)
+  peak_mem : int;
+  latency : float;
+  hotspots : int list;  (** sorted elements of the hot-spot set *)
+}
+
+type t
+
+val create : ?stripes:int -> unit -> t
+
+(** Digest of every evaluation input (see the module doc). *)
+val key :
+  state:int64 ->
+  parent_sched:int64 ->
+  mutated:int64 ->
+  sched_states:int ->
+  mode:int64 ->
+  hw:int64 ->
+  int64
+
+(** [find t k] is the cached evaluation under [k]; bumps the hit or miss
+    counter. *)
+val find : t -> int64 -> value option
+
+val add : t -> int64 -> value -> unit
+
+(** [(hits, misses)] since creation or the last {!reset_stats}. *)
+val stats : t -> int * int
+
+val reset_stats : t -> unit
+
+(** Number of cached evaluations. *)
+val length : t -> int
+
+val clear : t -> unit

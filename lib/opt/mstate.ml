@@ -40,6 +40,32 @@ let evaluate ?(ftree_stale = false) (cache : Op_cost.t) (graph : Graph.t)
     ftree_stale;
   }
 
+(** Rebuild a state from a {!Magis_cost.Sim_cache} hit: the graph,
+    F-Tree and staleness come from the proposal being evaluated, the
+    schedule and simulation outcome from the cache.  Because the cache
+    key digests every evaluation input, this is bit-identical to calling
+    {!evaluate} again. *)
+let of_cached ?(ftree_stale = false) (graph : Graph.t) (ftree : Ftree.t)
+    (v : Sim_cache.value) : t =
+  {
+    graph;
+    ftree;
+    schedule = v.schedule;
+    peak_mem = v.peak_mem;
+    latency = v.latency;
+    hotspots = Int_set.of_list v.hotspots;
+    ftree_stale;
+  }
+
+(** The cacheable part of a state, inverse of {!of_cached}. *)
+let to_cached (t : t) : Sim_cache.value =
+  {
+    schedule = t.schedule;
+    peak_mem = t.peak_mem;
+    latency = t.latency;
+    hotspots = Int_set.elements t.hotspots;
+  }
+
 (** Initial state: schedule the input graph, analyze it, build the F-Tree
     (Algorithm 1). *)
 let init ?(max_level = 4) ?(sched_states = 4_000) (cache : Op_cost.t)

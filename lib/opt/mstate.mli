@@ -20,6 +20,13 @@ type t = {
 val evaluate :
   ?ftree_stale:bool -> Op_cost.t -> Graph.t -> Ftree.t -> int list -> t
 
+(** Rebuild a state from a simulation-cache hit; bit-identical to
+    re-evaluating, because the cache key digests every evaluation input. *)
+val of_cached : ?ftree_stale:bool -> Graph.t -> Ftree.t -> Sim_cache.value -> t
+
+(** The cacheable part of a state, inverse of {!of_cached}. *)
+val to_cached : t -> Sim_cache.value
+
 (** Initial state: schedule, analyze, build the F-Tree (Algorithm 1). *)
 val init : ?max_level:int -> ?sched_states:int -> Op_cost.t -> Graph.t -> t
 

@@ -9,12 +9,25 @@
     Two modes: minimize latency under a memory limit, or minimize peak
     memory under a latency limit.  Per-phase time accounting reproduces
     the Fig. 15 breakdown; the history of best results over elapsed time
-    reproduces the Fig. 13 curves. *)
+    reproduces the Fig. 13 curves.
+
+    Candidate expansion is embarrassingly parallel: each child state is
+    an independent (rewrite → F-Tree refresh → reschedule → simulate →
+    WL-hash) pipeline sharing nothing but the frontier.  With
+    [config.jobs > 1] the per-iteration candidates fan out over a fixed
+    pool of OCaml 5 domains ({!Magis_par.Pool}); candidates are
+    generated, deduplicated and merged serially in candidate order, and
+    each worker accumulates into its own [stats] folded at the merge, so
+    a parallel run returns bit-identical best states (and per-phase
+    totals) to a serial one.  Evaluations are memoized in a
+    {!Sim_cache} shared across domains — and, when the caller passes one
+    in, across searches. *)
 
 open Magis_ir
 open Magis_cost
 open Magis_ftree
 open Magis_rules
+module Pool = Magis_par.Pool
 module Int_set = Util.Int_set
 
 type mode =
@@ -43,6 +56,10 @@ type stats = {
   mutable t_hash : float;
   mutable n_filtered : int;
   mutable iterations : int;
+  mutable n_sim_hit : int;
+  mutable n_sim_miss : int;
+  mutable domain_time : float array;
+      (** cumulative busy seconds per expansion worker *)
 }
 
 let fresh_stats () =
@@ -57,7 +74,26 @@ let fresh_stats () =
     t_hash = 0.0;
     n_filtered = 0;
     iterations = 0;
+    n_sim_hit = 0;
+    n_sim_miss = 0;
+    domain_time = [||];
   }
+
+(** Fold a worker-local accumulator into the run totals.  Workers never
+    write the shared record; the fold happens on the orchestrating
+    domain, in candidate order, so float sums are reproducible. *)
+let merge_stats (dst : stats) (src : stats) =
+  dst.n_transform <- dst.n_transform + src.n_transform;
+  dst.t_transform <- dst.t_transform +. src.t_transform;
+  dst.n_sched <- dst.n_sched + src.n_sched;
+  dst.t_sched <- dst.t_sched +. src.t_sched;
+  dst.n_simul <- dst.n_simul + src.n_simul;
+  dst.t_simul <- dst.t_simul +. src.t_simul;
+  dst.n_hash <- dst.n_hash + src.n_hash;
+  dst.t_hash <- dst.t_hash +. src.t_hash;
+  dst.n_filtered <- dst.n_filtered + src.n_filtered;
+  dst.n_sim_hit <- dst.n_sim_hit + src.n_sim_hit;
+  dst.n_sim_miss <- dst.n_sim_miss + src.n_sim_miss
 
 type result = {
   best : Mstate.t;
@@ -111,6 +147,12 @@ type config = {
       (** debug: run the IR verifier and schedule legality checker on
           every accepted M-state, raising on the first violation (tests
           and CI turn this on; benchmarks leave it off) *)
+  jobs : int;
+      (** worker domains for candidate expansion; 1 (the default) spawns
+          no domains and is the exact legacy serial path *)
+  sim_cache : Sim_cache.t option;
+      (** simulation cache; [None] (the default) uses a fresh private
+          cache per run, [Some c] shares [c] across runs *)
 }
 
 let default_config =
@@ -123,6 +165,8 @@ let default_config =
     diversify_pops = true;
     use_sweep_rules = true;
     verify_states = false;
+    jobs = 1;
+    sim_cache = None;
   }
 
 let timed _stats fld_t fld_n f =
@@ -203,32 +247,67 @@ let rewrite_proposals (cfg : config) stats (s : Mstate.t) : proposal list =
         rewrites)
     rules
 
-(** Evaluate a proposal: incremental reschedule + simulation. *)
-let evaluate_proposal (cfg : config) (cache : Op_cost.t) stats
-    (s : Mstate.t) (p : proposal) : Mstate.t =
-  let acc = Ftree.accounting cache p.p_graph p.p_ftree in
-  let schedule, _ =
-    timed stats
-      (fun dt -> stats.t_sched <- stats.t_sched +. dt)
-      (fun () -> stats.n_sched <- stats.n_sched + 1)
-      (fun () ->
-        Magis_sched.Incremental.reschedule ~max_states:cfg.sched_states
-          ~old_graph:s.graph ~new_graph:p.p_graph ~old_schedule:s.schedule
-          ~mutated_old:p.p_mutated ~size_of:acc.size_of ())
+(** Everything a worker needs to evaluate proposals: the operator-cost
+    cache, the simulation cache and the constant key ingredients. *)
+type eval_ctx = {
+  ec_cache : Op_cost.t;
+  ec_sim : Sim_cache.t;
+  ec_mode : int64;  (** mode fingerprint (cross-mode collision guard) *)
+  ec_hw : int64;  (** hardware fingerprint *)
+}
+
+(** Digest of the mode, including its limit, for the simulation-cache
+    key: the two optimization modes can never share an entry. *)
+let mode_fingerprint : mode -> int64 = function
+  | Min_latency { mem_limit } ->
+      Util.hash_combine 1L (Int64.of_int mem_limit)
+  | Min_memory { lat_limit } ->
+      Util.hash_combine 2L (Int64.bits_of_float lat_limit)
+
+(** Evaluate a proposal: incremental reschedule + simulation, memoized
+    in the simulation cache.  [state_hash] is the proposal's dedup hash
+    (WL ⊕ F-Tree fingerprint), already computed by the hash phase;
+    [parent_sched_hash] digests the schedule being incrementally
+    rewritten.  Runs on a worker domain: it must only write [stats] (a
+    worker-local accumulator) and the domain-safe caches. *)
+let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~iteration
+    ~state_hash ~parent_sched_hash (s : Mstate.t) (p : proposal) : Mstate.t =
+  let key =
+    Sim_cache.key ~state:state_hash ~parent_sched:parent_sched_hash
+      ~mutated:(Util.hash_int_list (Int_set.elements p.p_mutated))
+      ~sched_states:cfg.sched_states ~mode:ec.ec_mode ~hw:ec.ec_hw
   in
-  let s' =
-    timed stats
-      (fun dt -> stats.t_simul <- stats.t_simul +. dt)
-      (fun () -> stats.n_simul <- stats.n_simul + 1)
-      (fun () ->
-        Mstate.evaluate ~ftree_stale:p.p_stale cache p.p_graph p.p_ftree
-          schedule)
-  in
-  if cfg.verify_states then
-    Magis_analysis.Hooks.assert_state
-      ~what:(Printf.sprintf "M-state (iteration %d)" stats.iterations)
-      s'.graph s'.schedule;
-  s'
+  match Sim_cache.find ec.ec_sim key with
+  | Some v ->
+      stats.n_sim_hit <- stats.n_sim_hit + 1;
+      Mstate.of_cached ~ftree_stale:p.p_stale p.p_graph p.p_ftree v
+  | None ->
+      stats.n_sim_miss <- stats.n_sim_miss + 1;
+      let acc = Ftree.accounting ec.ec_cache p.p_graph p.p_ftree in
+      let schedule, _ =
+        timed stats
+          (fun dt -> stats.t_sched <- stats.t_sched +. dt)
+          (fun () -> stats.n_sched <- stats.n_sched + 1)
+          (fun () ->
+            Magis_sched.Incremental.reschedule ~max_states:cfg.sched_states
+              ~old_graph:s.graph ~new_graph:p.p_graph
+              ~old_schedule:s.schedule ~mutated_old:p.p_mutated
+              ~size_of:acc.size_of ())
+      in
+      let s' =
+        timed stats
+          (fun dt -> stats.t_simul <- stats.t_simul +. dt)
+          (fun () -> stats.n_simul <- stats.n_simul + 1)
+          (fun () ->
+            Mstate.evaluate ~ftree_stale:p.p_stale ec.ec_cache p.p_graph
+              p.p_ftree schedule)
+      in
+      if cfg.verify_states then
+        Magis_analysis.Hooks.assert_state
+          ~what:(Printf.sprintf "M-state (iteration %d)" iteration)
+          s'.graph s'.schedule;
+      Sim_cache.add ec.ec_sim key (Mstate.to_cached s');
+      s'
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
@@ -248,6 +327,22 @@ let state_hash stats (s : Mstate.t) : int64 =
 let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
     (graph : Graph.t) : result =
   let stats = fresh_stats () in
+  let pool = Pool.create config.jobs in
+  let ec =
+    {
+      ec_cache = cache;
+      ec_sim =
+        (match config.sim_cache with
+        | Some c -> c
+        | None -> Sim_cache.create ());
+      ec_mode = mode_fingerprint mode;
+      ec_hw = Hardware.fingerprint cache.hw;
+    }
+  in
+  Fun.protect ~finally:(fun () ->
+      stats.domain_time <- Pool.busy_time pool;
+      Pool.shutdown pool)
+  @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t_start in
   let init =
@@ -334,38 +429,74 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
              else { s with ftree_stale = false }
            in
            let proposals =
-             (if Ftree.n_entries s.ftree > 0 then
-                ftree_proposals config stats s
-              else [])
-             @ rewrite_proposals config stats s
+             Array.of_list
+               ((if Ftree.n_entries s.ftree > 0 then
+                   ftree_proposals config stats s
+                 else [])
+               @ rewrite_proposals config stats s)
            in
-           (* hash test FIRST: duplicate graphs skip scheduling and
-              simulation entirely (the Fig. 15 "Filtered" column) *)
-           List.iter
-             (fun (p : proposal) ->
-               let h =
+           (* Phase 1 (parallel): structural hash of every candidate.
+              Hash test FIRST: duplicate graphs skip scheduling and
+              simulation entirely (the Fig. 15 "Filtered" column). *)
+           let hashed =
+             Pool.map pool
+               (fun (p : proposal) ->
                  let t0 = Unix.gettimeofday () in
                  let h =
                    Util.hash_combine (Wl_hash.hash p.p_graph)
                      (Ftree.fingerprint p.p_ftree)
                  in
-                 stats.t_hash <- stats.t_hash +. (Unix.gettimeofday () -. t0);
-                 stats.n_hash <- stats.n_hash + 1;
-                 h
-               in
-               if Hashtbl.mem seen h then
-                 stats.n_filtered <- stats.n_filtered + 1
-               else begin
-                 Hashtbl.replace seen h ();
-                 let s' = evaluate_proposal config cache stats s p in
-                 if better_than mode s' !best then begin
-                   best := s';
-                   history :=
-                     (elapsed (), s'.peak_mem, s'.latency) :: !history
-                 end;
-                 if better_than mode ~delta:1.1 s' !best then push s'
-               end)
-             proposals
+                 (p, h, Unix.gettimeofday () -. t0))
+               proposals
+           in
+           Array.iter
+             (fun (_, _, dt) ->
+               stats.t_hash <- stats.t_hash +. dt;
+               stats.n_hash <- stats.n_hash + 1)
+             hashed;
+           (* Phase 2 (serial, candidate order): dedup against every
+              state seen so far.  First occurrence wins, exactly as in a
+              serial run. *)
+           let survivors =
+             Array.to_list hashed
+             |> List.filter_map (fun ((p : proposal), h, _) ->
+                    if Hashtbl.mem seen h then begin
+                      stats.n_filtered <- stats.n_filtered + 1;
+                      None
+                    end
+                    else begin
+                      Hashtbl.replace seen h ();
+                      Some (p, h)
+                    end)
+             |> Array.of_list
+           in
+           (* Phase 3 (parallel): reschedule + simulate the survivors.
+              Each worker accumulates into its own stats record. *)
+           let parent_sched_hash = Util.hash_int_list s.schedule in
+           let iteration = stats.iterations in
+           let evaluated =
+             Pool.map pool
+               (fun ((p : proposal), h) ->
+                 let local = fresh_stats () in
+                 let s' =
+                   evaluate_proposal config ec local ~iteration
+                     ~state_hash:h ~parent_sched_hash s p
+                 in
+                 (s', local))
+               survivors
+           in
+           (* Phase 4 (serial, candidate order): fold worker stats and
+              merge into best/queue — bit-identical to the serial loop. *)
+           Array.iter
+             (fun ((s' : Mstate.t), local) ->
+               merge_stats stats local;
+               if better_than mode s' !best then begin
+                 best := s';
+                 history :=
+                   (elapsed (), s'.peak_mem, s'.latency) :: !history
+               end;
+               if better_than mode ~delta:1.1 s' !best then push s')
+             evaluated
      done
    with Exit -> ());
   { best = !best; initial = init; stats; history = List.rev !history }

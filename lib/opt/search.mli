@@ -30,6 +30,11 @@ type stats = {
   mutable t_hash : float;
   mutable n_filtered : int;  (** duplicate graphs skipped by hash test *)
   mutable iterations : int;
+  mutable n_sim_hit : int;  (** evaluations served by the simulation cache *)
+  mutable n_sim_miss : int;  (** evaluations computed and then cached *)
+  mutable domain_time : float array;
+      (** cumulative busy seconds per expansion worker ([jobs] cells;
+          one cell for a serial run) *)
 }
 
 type result = {
@@ -55,6 +60,16 @@ type config = {
           {!Magis_analysis.Sched_check} on every accepted M-state,
           raising [Failure] on the first violation (tests/CI on,
           benchmarks off) *)
+  jobs : int;
+      (** worker domains for the per-iteration candidate expansion;
+          1 (the default) spawns no domains — the exact legacy serial
+          path.  Any [jobs] value returns bit-identical best states:
+          candidates are generated, deduplicated and merged serially in
+          candidate order. *)
+  sim_cache : Sim_cache.t option;
+      (** memoizes (reschedule → simulate) evaluations.  [None] (the
+          default) uses a fresh private cache per run; pass [Some c] to
+          share hits across searches (ablation sweeps, repeated runs). *)
 }
 
 val default_config : config

@@ -1,0 +1,136 @@
+(** Fixed-size domain pool (see the interface for the contract).
+
+    One mutex guards the job queue, the shutdown flag and every
+    completion counter; two conditions signal "work available" (workers
+    wait on it) and "a batch finished" (the caller of [map] waits on
+    it).  Workers never touch results concurrently: each task writes a
+    distinct cell of the result array, and the happens-before edge from
+    the counter update under the mutex makes those writes visible to the
+    caller when the batch count reaches zero. *)
+
+type shared = {
+  lock : Mutex.t;
+  work : Condition.t;  (** queue non-empty, or shutting down *)
+  batch_done : Condition.t;  (** some batch counter reached zero *)
+  queue : (int -> unit) Queue.t;  (** jobs, applied to the worker index *)
+  mutable stop : bool;
+  busy : float array;  (** per-worker cumulative task seconds *)
+}
+
+type t =
+  | Inline of { busy : float array }
+  | Domains of {
+      shared : shared;
+      domains : unit Domain.t array;
+      mutable joined : bool;
+    }
+
+let rec worker_loop (sh : shared) (widx : int) =
+  Mutex.lock sh.lock;
+  while Queue.is_empty sh.queue && not sh.stop do
+    Condition.wait sh.work sh.lock
+  done;
+  if Queue.is_empty sh.queue then Mutex.unlock sh.lock (* stop, queue drained *)
+  else begin
+    let job = Queue.pop sh.queue in
+    Mutex.unlock sh.lock;
+    job widx;
+    worker_loop sh widx
+  end
+
+let create n =
+  if n <= 1 then Inline { busy = [| 0.0 |] }
+  else
+    let shared =
+      {
+        lock = Mutex.create ();
+        work = Condition.create ();
+        batch_done = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+        busy = Array.make n 0.0;
+      }
+    in
+    let domains =
+      Array.init n (fun i -> Domain.spawn (fun () -> worker_loop shared i))
+    in
+    Domains { shared; domains; joined = false }
+
+let size = function
+  | Inline _ -> 1
+  | Domains { domains; _ } -> Array.length domains
+
+let busy_time = function
+  | Inline { busy } -> Array.copy busy
+  | Domains { shared; _ } ->
+      Mutex.lock shared.lock;
+      let b = Array.copy shared.busy in
+      Mutex.unlock shared.lock;
+      b
+
+(** First failure by input index, re-raised after the whole batch has
+    drained so no task can outlive the [map] call. *)
+let reraise_first (results : ('b, exn) result option array) : unit =
+  Array.iter
+    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+    results
+
+let extract results =
+  reraise_first results;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error _) | None -> assert false (* reraise_first / batch done *))
+    results
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else
+    match t with
+    | Inline { busy } ->
+        Array.map
+          (fun x ->
+            let t0 = Unix.gettimeofday () in
+            let r = f x in
+            busy.(0) <- busy.(0) +. (Unix.gettimeofday () -. t0);
+            r)
+          xs
+    | Domains { shared = sh; joined; _ } ->
+        if joined || sh.stop then
+          invalid_arg "Magis_par.Pool.map: pool is shut down";
+        let results = Array.make n None in
+        let remaining = ref n in
+        let job i widx =
+          let t0 = Unix.gettimeofday () in
+          let r = try Ok (f xs.(i)) with e -> Error e in
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.lock sh.lock;
+          sh.busy.(widx) <- sh.busy.(widx) +. dt;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast sh.batch_done;
+          Mutex.unlock sh.lock
+        in
+        Mutex.lock sh.lock;
+        for i = 0 to n - 1 do
+          Queue.add (job i) sh.queue
+        done;
+        Condition.broadcast sh.work;
+        while !remaining > 0 do
+          Condition.wait sh.batch_done sh.lock
+        done;
+        Mutex.unlock sh.lock;
+        extract results
+
+let shutdown = function
+  | Inline _ -> ()
+  | Domains d ->
+      if not d.joined then begin
+        d.joined <- true;
+        Mutex.lock d.shared.lock;
+        d.shared.stop <- true;
+        Condition.broadcast d.shared.work;
+        Mutex.unlock d.shared.lock;
+        Array.iter Domain.join d.domains
+      end

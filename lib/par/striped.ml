@@ -1,0 +1,50 @@
+(** Striped-lock hash table over [int64] keys. *)
+
+type 'a t = {
+  mask : int;
+  locks : Mutex.t array;
+  tables : (int64, 'a) Hashtbl.t array;
+}
+
+let rec pow2_ge n acc = if acc >= n then acc else pow2_ge n (acc * 2)
+
+let create ?(stripes = 64) () =
+  let n = pow2_ge (max 1 stripes) 1 in
+  {
+    mask = n - 1;
+    locks = Array.init n (fun _ -> Mutex.create ());
+    tables = Array.init n (fun _ -> Hashtbl.create 64);
+  }
+
+let stripe t (k : int64) = Int64.to_int k land t.mask
+
+let find t k =
+  let i = stripe t k in
+  Mutex.lock t.locks.(i);
+  let r = Hashtbl.find_opt t.tables.(i) k in
+  Mutex.unlock t.locks.(i);
+  r
+
+let add t k v =
+  let i = stripe t k in
+  Mutex.lock t.locks.(i);
+  Hashtbl.replace t.tables.(i) k v;
+  Mutex.unlock t.locks.(i)
+
+let length t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i l ->
+      Mutex.lock l;
+      n := !n + Hashtbl.length t.tables.(i);
+      Mutex.unlock l)
+    t.locks;
+  !n
+
+let clear t =
+  Array.iteri
+    (fun i l ->
+      Mutex.lock l;
+      Hashtbl.reset t.tables.(i);
+      Mutex.unlock l)
+    t.locks

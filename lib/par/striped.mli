@@ -1,0 +1,22 @@
+(** A hash table with 64-bit keys sharded over independently locked
+    stripes, so domains hitting different stripes never contend.  Used
+    by the simulation cache ({!Magis_cost.Sim_cache}), which is read and
+    written concurrently by the expansion workers. *)
+
+type 'a t
+
+(** [create ?stripes ()] makes an empty table.  [stripes] is rounded up
+    to a power of two (default 64). *)
+val create : ?stripes:int -> unit -> 'a t
+
+(** [find t k] is the binding of [k], if any. *)
+val find : 'a t -> int64 -> 'a option
+
+(** [add t k v] binds [k] to [v], replacing any previous binding. *)
+val add : 'a t -> int64 -> 'a -> unit
+
+(** Total number of bindings (takes every stripe lock in order). *)
+val length : 'a t -> int
+
+(** Remove every binding. *)
+val clear : 'a t -> unit

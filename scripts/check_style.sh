@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Style check for the repository's OCaml sources (the CI "format" job).
+#
+# ocamlformat is not part of the pinned toolchain, so this script enforces
+# the invariants the codebase already follows and that keep diffs from
+# churning: no tabs, no trailing whitespace, no CRLF line endings, and a
+# final newline in every source file.  Run it locally with:
+#
+#   bash scripts/check_style.sh
+#
+# It exits non-zero and prints the offending file:line pairs on drift.
+set -u
+
+cd "$(dirname "$0")/.."
+
+# markdown is excluded: trailing double-spaces are meaningful there, and
+# PAPERS.md / SNIPPETS.md are reference material, not code
+files=$(git ls-files -- '*.ml' '*.mli' 'dune' '*/dune' 'dune-project' '*.sh' '*.yml')
+
+status=0
+
+fail() {
+  echo "style: $1"
+  status=1
+}
+
+# 1. no tab characters
+hits=$(grep -nP '\t' $files 2>/dev/null)
+if [ -n "$hits" ]; then
+  fail "tab characters found:"
+  echo "$hits" | head -20
+fi
+
+# 2. no trailing whitespace
+hits=$(grep -nE ' +$' $files 2>/dev/null)
+if [ -n "$hits" ]; then
+  fail "trailing whitespace found:"
+  echo "$hits" | head -20
+fi
+
+# 3. no CRLF line endings
+hits=$(grep -lP '\r$' $files 2>/dev/null)
+if [ -n "$hits" ]; then
+  fail "CRLF line endings found:"
+  echo "$hits" | head -20
+fi
+
+# 4. every file ends with a newline
+for f in $files; do
+  if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+    fail "$f: missing final newline"
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "style: clean ($(echo "$files" | wc -w) files)"
+fi
+exit "$status"

@@ -25,6 +25,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("outcome", Test_outcome.suite);
       ("search", Test_search.suite);
+      ("par", Test_par.suite);
       ("properties", Test_props.suite);
       ("codegen", Test_codegen.suite);
       ("parser", Test_parser.suite);

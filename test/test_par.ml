@@ -1,0 +1,223 @@
+(** Parallel runtime and simulation cache: the domain pool's ordered
+    map, the striped table under concurrent writers, Sim_cache keying,
+    and the headline guarantee — [Search.run] with [jobs = 4] returns
+    bit-identical best states to [jobs = 1]. *)
+
+open Magis
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_ordered () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let xs = Array.init 500 (fun i -> i) in
+  let ys = Pool.map pool (fun i -> i * i) xs in
+  Alcotest.(check (array int))
+    "results in input order"
+    (Array.map (fun i -> i * i) xs)
+    ys;
+  Alcotest.(check int) "size" 4 (Pool.size pool);
+  Alcotest.(check int) "one busy cell per worker" 4
+    (Array.length (Pool.busy_time pool))
+
+let test_pool_inline () =
+  let pool = Pool.create 1 in
+  let ys = Pool.map pool string_of_int [| 1; 2; 3 |] in
+  Alcotest.(check (array string)) "inline map" [| "1"; "2"; "3" |] ys;
+  Alcotest.(check int) "inline pool has size 1" 1 (Pool.size pool);
+  Alcotest.(check int) "inline busy cell" 1 (Array.length (Pool.busy_time pool));
+  Pool.shutdown pool
+
+let test_pool_reuse_and_empty () =
+  let pool = Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check (array int)) "empty input" [||] (Pool.map pool succ [||]);
+  for round = 1 to 5 do
+    let ys = Pool.map pool succ (Array.make 40 round) in
+    Alcotest.(check int) "batch survives reuse" (round + 1) ys.(39)
+  done
+
+let test_pool_exception_lowest_index () =
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.check_raises "lowest-indexed failure is re-raised"
+    (Failure "boom2") (fun () ->
+      ignore
+        (Pool.map pool
+           (fun i -> if i >= 2 then failwith (Printf.sprintf "boom%d" i))
+           [| 0; 1; 2; 3; 4 |]));
+  (* the pool stays usable after a failing batch *)
+  Alcotest.(check (array int)) "pool usable after failure" [| 2; 3 |]
+    (Pool.map pool succ [| 1; 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* Striped table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_striped_basic () =
+  let t = Striped.create ~stripes:8 () in
+  Alcotest.(check (option int)) "empty" None (Striped.find t 5L);
+  Striped.add t 5L 50;
+  Striped.add t 6L 60;
+  Striped.add t 5L 51;
+  Alcotest.(check (option int)) "replace" (Some 51) (Striped.find t 5L);
+  Alcotest.(check (option int)) "other key" (Some 60) (Striped.find t 6L);
+  Alcotest.(check int) "length" 2 (Striped.length t);
+  Striped.clear t;
+  Alcotest.(check int) "cleared" 0 (Striped.length t)
+
+let test_striped_concurrent_writers () =
+  let t = Striped.create ~stripes:16 () in
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let n = 2_000 in
+  ignore
+    (Pool.map pool
+       (fun i -> Striped.add t (Int64.of_int i) (i * 3))
+       (Array.init n (fun i -> i)));
+  Alcotest.(check int) "all bindings present" n (Striped.length t);
+  for i = 0 to n - 1 do
+    if Striped.find t (Int64.of_int i) <> Some (i * 3) then
+      Alcotest.failf "binding %d lost or corrupted" i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Simulation cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_key ?(state = 11L) ?(parent_sched = 22L) ?(mutated = 33L)
+    ?(sched_states = 0) ?(mode = 1L) ?(hw = 44L) () =
+  Sim_cache.key ~state ~parent_sched ~mutated ~sched_states ~mode ~hw
+
+let a_value =
+  { Sim_cache.schedule = [ 0; 1; 2 ]; peak_mem = 640; latency = 0.25;
+    hotspots = [ 1; 2 ] }
+
+let test_sim_cache_hit_after_identical_key () =
+  let c = Sim_cache.create () in
+  Alcotest.(check bool) "cold miss" true (Sim_cache.find c (mk_key ()) = None);
+  Sim_cache.add c (mk_key ()) a_value;
+  (match Sim_cache.find c (mk_key ()) with
+  | None -> Alcotest.fail "identical key must hit"
+  | Some v ->
+      Alcotest.(check (list int)) "schedule round-trips" [ 0; 1; 2 ] v.schedule;
+      Alcotest.(check int) "peak round-trips" 640 v.peak_mem);
+  Alcotest.(check (pair int int)) "one hit, one miss" (1, 1)
+    (Sim_cache.stats c);
+  Sim_cache.reset_stats c;
+  Alcotest.(check (pair int int)) "counters reset" (0, 0) (Sim_cache.stats c);
+  Alcotest.(check int) "one entry" 1 (Sim_cache.length c)
+
+let test_sim_cache_miss_after_rewrite () =
+  (* a rewrite changes the WL hash, hence the [state] digest *)
+  let c = Sim_cache.create () in
+  Sim_cache.add c (mk_key ~state:11L ()) a_value;
+  Alcotest.(check bool) "rewritten graph misses" true
+    (Sim_cache.find c (mk_key ~state:12L ()) = None)
+
+let test_sim_cache_no_cross_mode_collision () =
+  let c = Sim_cache.create () in
+  Sim_cache.add c (mk_key ~mode:1L ()) a_value;
+  Alcotest.(check bool) "other mode misses" true
+    (Sim_cache.find c (mk_key ~mode:2L ()) = None);
+  Alcotest.(check bool) "other hardware misses" true
+    (Sim_cache.find c (mk_key ~hw:45L ()) = None);
+  Alcotest.(check bool) "other DP budget misses" true
+    (Sim_cache.find c (mk_key ~sched_states:100 ()) = None)
+
+let test_hardware_fingerprint () =
+  Alcotest.(check bool) "fingerprint is stable" true
+    (Hardware.fingerprint Hardware.rtx3090
+    = Hardware.fingerprint Hardware.rtx3090);
+  Alcotest.(check bool) "devices are distinguished" true
+    (Hardware.fingerprint Hardware.rtx3090
+    <> Hardware.fingerprint Hardware.mobile)
+
+(* ------------------------------------------------------------------ *)
+(* Serial/parallel determinism of the search                           *)
+(* ------------------------------------------------------------------ *)
+
+let randnet seed =
+  Randnet.build
+    ~cfg:
+      { Randnet.cells = 1; nodes_per_cell = 4; channels = 8; image = 8;
+        batch = 2; seed }
+    ()
+
+let run_with ?sim_cache ~jobs g =
+  let config =
+    { Search.default_config with
+      max_iterations = 12; time_budget = 1e9; jobs; sim_cache }
+  in
+  Search.optimize_memory ~config (cache ()) ~overhead:0.10 g
+
+let check_same_best what (r1 : Search.result) (r2 : Search.result) =
+  Alcotest.(check int)
+    (what ^ ": identical peak memory")
+    r1.best.peak_mem r2.best.peak_mem;
+  Alcotest.(check (float 0.0))
+    (what ^ ": identical latency")
+    r1.best.latency r2.best.latency;
+  Alcotest.(check (list int))
+    (what ^ ": identical schedule")
+    r1.best.schedule r2.best.schedule;
+  Alcotest.(check bool)
+    (what ^ ": structurally identical graph")
+    true
+    (Wl_hash.equal_structure r1.best.graph r2.best.graph)
+
+let test_parallel_determinism () =
+  List.iter
+    (fun seed ->
+      let what = Printf.sprintf "randnet seed %d" seed in
+      let g = randnet seed in
+      let r1 = run_with ~jobs:1 g in
+      let r4 = run_with ~jobs:4 g in
+      check_same_best what r1 r4;
+      (* work accounting is count-identical, not just result-identical *)
+      Alcotest.(check int) (what ^ ": same schedules run")
+        r1.stats.n_sched r4.stats.n_sched;
+      Alcotest.(check int) (what ^ ": same simulations run")
+        r1.stats.n_simul r4.stats.n_simul;
+      Alcotest.(check int) (what ^ ": same duplicates filtered")
+        r1.stats.n_filtered r4.stats.n_filtered;
+      Alcotest.(check int) (what ^ ": per-domain wall time recorded") 4
+        (Array.length r4.stats.domain_time))
+    [ 1; 2; 3 ]
+
+let test_shared_sim_cache_short_circuits () =
+  let g = randnet 1 in
+  let sim = Sim_cache.create () in
+  let r1 = run_with ~jobs:1 ~sim_cache:sim g in
+  Alcotest.(check int) "cold run has no hits" 0 r1.stats.n_sim_hit;
+  Alcotest.(check bool) "cold run fills the cache" true
+    (r1.stats.n_sim_miss > 0 && Sim_cache.length sim > 0);
+  (* an identical search over a warm cache replays the trajectory
+     without a single reschedule or simulation *)
+  let r2 = run_with ~jobs:2 ~sim_cache:sim g in
+  check_same_best "warm replay" r1 r2;
+  Alcotest.(check int) "warm run never misses" 0 r2.stats.n_sim_miss;
+  Alcotest.(check int) "warm run never reschedules" 0 r2.stats.n_sched;
+  Alcotest.(check int) "warm run never simulates" 0 r2.stats.n_simul;
+  Alcotest.(check bool) "warm run only hits" true (r2.stats.n_sim_hit > 0)
+
+let suite =
+  [
+    tc "pool map preserves order" test_pool_map_ordered;
+    tc "pool inline path" test_pool_inline;
+    tc "pool reuse and empty batches" test_pool_reuse_and_empty;
+    tc "pool re-raises lowest-index failure" test_pool_exception_lowest_index;
+    tc "striped table basics" test_striped_basic;
+    tc "striped table concurrent writers" test_striped_concurrent_writers;
+    tc "sim cache hits identical key" test_sim_cache_hit_after_identical_key;
+    tc "sim cache misses after rewrite" test_sim_cache_miss_after_rewrite;
+    tc "sim cache mode/hw/budget isolation"
+      test_sim_cache_no_cross_mode_collision;
+    tc "hardware fingerprint" test_hardware_fingerprint;
+    tc "jobs=4 reproduces jobs=1 bit-identically" test_parallel_determinism;
+    tc "shared sim cache short-circuits a replay"
+      test_shared_sim_cache_short_circuits;
+  ]
