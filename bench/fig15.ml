@@ -16,15 +16,17 @@ let run (env : Common.env) =
   let r = Search.optimize_latency ~config env.cache ~mem_ratio:0.6 g in
   let st = r.stats in
   let total =
-    st.t_transform +. st.t_sched +. st.t_simul +. st.t_hash
+    st.t_transform +. st.t_sched +. st.t_simul +. st.t_hash +. st.t_bound
   in
-  Printf.printf "%-10s %10s %10s %10s %10s %10s %10s\n" "" "Total" "Trans."
-    "Sched." "Simul." "Hash" "Filtered";
-  Printf.printf "%-10s %10d %10d %10d %10d %10d %10d\n" "Count"
-    (st.n_transform + st.n_sched + st.n_simul + st.n_hash)
-    st.n_transform st.n_sched st.n_simul st.n_hash st.n_filtered;
-  Printf.printf "%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10s\n"
-    "Cost(secs)" total st.t_transform st.t_sched st.t_simul st.t_hash "/";
+  Printf.printf "%-10s %10s %10s %10s %10s %10s %10s %10s %10s\n" "" "Total"
+    "Trans." "Sched." "Simul." "Hash" "Bound" "Filtered" "PrunedLB";
+  Printf.printf "%-10s %10d %10d %10d %10d %10d %10d %10d %10d\n" "Count"
+    (st.n_transform + st.n_sched + st.n_simul + st.n_hash + st.n_bound_calls)
+    st.n_transform st.n_sched st.n_simul st.n_hash st.n_bound_calls
+    st.n_filtered st.n_pruned_lb;
+  Printf.printf "%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10s %10s\n"
+    "Cost(secs)" total st.t_transform st.t_sched st.t_simul st.t_hash
+    st.t_bound "/" "/";
   Printf.printf "\nIterations: %d; best peak %.1f MB, best latency %.2f ms\n"
     st.iterations
     (float_of_int r.best.peak_mem /. 1e6)

@@ -22,6 +22,7 @@ let experiments : (string * (Common.env -> unit)) list =
     ("design", Design.run);
     ("spatial", Spatial_bench.run);
     ("par", Par_bench.run);
+    ("bounds", Bounds_bench.run);
   ]
 
 let run_selected names full budget jobs iters =

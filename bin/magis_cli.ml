@@ -7,6 +7,9 @@
       run the optimizer and print the resulting plan;
     - [magis_cli verify WORKLOAD] — run the IR verifier and schedule
       legality checker on a workload graph;
+    - [magis_cli analyze [WORKLOAD]] — schedule-independent liveness and
+      peak-memory bound analysis, with the bound-invariant check against
+      two concrete schedules;
     - [magis_cli lint-rules] — differential lint of every rewrite rule
       over the model corpus ([dune build @lint]). *)
 
@@ -109,6 +112,68 @@ let cmd_codegen name full budget output =
       Printf.printf "wrote %s (%d lines)\n" path
         (List.length (String.split_on_char '\n' code))
 
+(** Static bound analysis of one graph: liveness mobility histogram,
+    the full {!Membound} record, and the gap between the bounds and two
+    concrete schedules (program order and the memory-greedy reorder).
+    Returns the bound-invariant diagnostics. *)
+let analyze_one cache name g =
+  let base = Simulator.run cache g (Graph.program_order g) in
+  let lv = Liveness.compute g in
+  let b = Membound.of_liveness lv in
+  let greedy_order = Reorder.schedule ~max_states:0 g in
+  let greedy = Simulator.run cache g greedy_order in
+  Printf.printf "%s: %d operator(s)\n" name (Graph.n_nodes g);
+  Printf.printf "  weights: %.1f MB pinned; outputs: %.1f MB pinned\n"
+    (mb (Liveness.weight_bytes lv))
+    (mb (Liveness.pinned_bytes lv - Liveness.weight_bytes lv));
+  Fmt.pr "  %a@." Membound.pp b;
+  let acc = Ftree.accounting cache g Ftree.empty in
+  let lat_lb = Membound.latency_lower_bound ~cost_of:acc.cost_of g in
+  Printf.printf "  latency: %.2f ms simulated, %.2f ms lower bound\n"
+    (ms base.latency) (ms lat_lb);
+  Printf.printf
+    "  peak: %.1f MB program order, %.1f MB greedy; lower-bound gap %.2fx / \
+     %.2fx\n"
+    (mb base.peak_mem) (mb greedy.peak_mem)
+    (float_of_int base.peak_mem /. float_of_int (max 1 b.lower))
+    (float_of_int greedy.peak_mem /. float_of_int (max 1 b.lower));
+  (* mobility histogram: how much schedule freedom the tensors have *)
+  let buckets = [| 0; 0; 0; 0; 0 |] in
+  let bucket_of m =
+    if m = 0 then 0 else if m <= 2 then 1 else if m <= 7 then 2
+    else if m <= 15 then 3 else 4
+  in
+  Liveness.fold
+    (fun v () ->
+      let i = bucket_of (Liveness.mobility lv v) in
+      buckets.(i) <- buckets.(i) + 1)
+    lv ();
+  Printf.printf
+    "  mobility: %d fixed, %d of 1-2 steps, %d of 3-7, %d of 8-15, %d of 16+\n"
+    buckets.(0) buckets.(1) buckets.(2) buckets.(3) buckets.(4);
+  let diags =
+    Membound.check b ~peak:base.peak_mem
+    @ Membound.check b ~peak:greedy.peak_mem
+  in
+  if not (Diagnostic.is_clean diags) then
+    Fmt.pr "%a@." Diagnostic.pp_report diags;
+  diags
+
+let cmd_analyze name full =
+  let cache = Op_cost.create Hardware.default in
+  let targets =
+    match name with Some n -> [ Zoo.find n ] | None -> Zoo.all
+  in
+  let diags =
+    List.concat_map
+      (fun (w : Zoo.workload) ->
+        analyze_one cache w.name
+          (w.build (if full then Zoo.Full else Zoo.Quick)))
+      targets
+  in
+  if Diagnostic.is_clean diags then print_endline "bound invariants clean"
+  else exit 1
+
 let cmd_verify name full =
   let w, g = load name full in
   let order = Graph.program_order g in
@@ -137,23 +202,30 @@ let patterns_graph () =
   let g, _ = Graph.add g (Op.Binary Op.Add) [ load; x ] in
   g
 
-(** Lint corpus: every Table 2 workload at [Quick] scale plus a few
-    seeded random NASNet-like graphs (small enough for the numeric
-    equivalence check to run on them). *)
+(** Lint corpus: every Table 2 workload at [Quick] scale, a few seeded
+    random NASNet-like graphs (small enough for the numeric equivalence
+    check to run on them), and materialized fission variants of the
+    smallest subjects (the slice/part/merge seams F-Trans produces). *)
 let lint_corpus seeds =
-  [ ("patterns", patterns_graph ()) ]
-  @ List.map
-      (fun (w : Zoo.workload) -> (w.name, w.build Zoo.Quick))
-      Zoo.all
-  @ List.map
-      (fun seed ->
-        ( Printf.sprintf "randnet-%d" seed,
-          Randnet.build
-            ~cfg:
-              { Randnet.cells = 1; nodes_per_cell = 3; channels = 8;
-                image = 8; batch = 2; seed }
-            () ))
-      seeds
+  let base =
+    [ ("patterns", patterns_graph ()) ]
+    @ List.map
+        (fun (w : Zoo.workload) -> (w.name, w.build Zoo.Quick))
+        Zoo.all
+    @ List.map
+        (fun seed ->
+          ( Printf.sprintf "randnet-%d" seed,
+            Randnet.build
+              ~cfg:
+                { Randnet.cells = 1; nodes_per_cell = 3; channels = 8;
+                  image = 8; batch = 2; seed }
+              () ))
+        seeds
+  in
+  let small =
+    List.filter (fun (_, g) -> Graph.n_nodes g <= 80) base
+  in
+  base @ Rule_lint.fission_corpus ~max_graphs:6 small
 
 let cmd_lint_rules seeds max_per_rule interp_limit =
   let corpus = lint_corpus (List.init seeds (fun i -> i + 1)) in
@@ -235,6 +307,18 @@ let verify_cmd =
        ~doc:"Run the IR verifier and schedule legality checker on a workload")
     Term.(const cmd_verify $ workload $ full)
 
+let analyze_cmd =
+  let workload_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Schedule-independent liveness and peak-memory bound analysis of a \
+          workload (all workloads when omitted); exits non-zero on any \
+          bound-invariant violation")
+    Term.(const cmd_analyze $ workload_opt $ full)
+
 let lint_rules_cmd =
   let seeds =
     Arg.(value & opt int 3
@@ -260,4 +344,4 @@ let () =
        (Cmd.group
           (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
           [ list_cmd; inspect_cmd; optimize_cmd; codegen_cmd; export_cmd;
-            verify_cmd; lint_rules_cmd ]))
+            verify_cmd; analyze_cmd; lint_rules_cmd ]))

@@ -12,6 +12,18 @@ let assert_state ~what g order =
       failwith
         (Fmt.str "%s failed verification:@.%a" what Diagnostic.pp_report errs)
 
+let assert_bounds ?(exact = true) ~what ?size_of g ~peak () =
+  let diags =
+    if exact then Membound.check (Membound.compute ?size_of g) ~peak
+    else Membound.quick_check ?size_of g ~peak
+  in
+  match Diagnostic.errors diags with
+  | [] -> ()
+  | errs ->
+      failwith
+        (Fmt.str "%s violated the memory-bound invariant:@.%a" what
+           Diagnostic.pp_report errs)
+
 let schedule ?(what = "schedule") g order =
   if !flag then assert_state ~what g order;
   order

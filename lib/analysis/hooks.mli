@@ -21,3 +21,16 @@ val schedule : ?what:string -> Graph.t -> int list -> int list
 (** Unconditional combined check (used by [Search.config.verify_states]):
     raises [Failure] on IR or schedule errors regardless of {!enabled}. *)
 val assert_state : what:string -> Graph.t -> int list -> unit
+
+(** [assert_bounds ~what ?size_of g ~peak ()] recomputes the
+    schedule-independent memory bounds and raises [Failure] unless
+    [lower <= peak <= ub_total].  With [~exact:true] (the default) the
+    full {!Membound.compute} record is checked, including the internal
+    [lower <= ub_greedy] and [lb_dom <= lb_cut] cross-checks; with
+    [~exact:false] only the cheap probe invariant
+    ({!Membound.quick_check}) runs — the form
+    [Search.config.verify_states] uses on every accepted M-state, where
+    the full record would dominate the search loop. *)
+val assert_bounds :
+  ?exact:bool ->
+  what:string -> ?size_of:(int -> int) -> Graph.t -> peak:int -> unit -> unit

@@ -190,6 +190,47 @@ let lint ?(max_per_rule = 4) ?(interp_limit = 80) ?(tolerance = 1e-4)
 
 let is_clean r = r.n_errors = 0
 
+(* ------------------------------------------------------------------ *)
+(* Fission corpus                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Materialized fission variants of the corpus graphs: each F-Tree
+    candidate fission, expanded at small fission numbers with
+    {!Magis_ftree.Fission.expand}.  The results contain the
+    slice/per-part/merge seams F-Trans produces — a structure neither
+    the hand-built patterns nor the zoo graphs exhibit — so linting over
+    them checks that no rule mis-rewrites across a fission boundary.
+    Only verifier-clean expansions are kept (an unclean one is
+    {!Magis_ftree.Fission}'s bug, reported by its own tests). *)
+let fission_corpus ?(max_graphs = 8) (corpus : (string * Graph.t) list) :
+    (string * Graph.t) list =
+  let module Ftree = Magis_ftree.Ftree in
+  let module Fission = Magis_ftree.Fission in
+  let out = ref [] and count = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      let order = Graph.topo_order g in
+      let hotspots = Lifetime.hotspots (Lifetime.analyze g order) in
+      let t = Ftree.construct g ~hotspots in
+      for i = 0 to Ftree.n_entries t - 1 do
+        List.iter
+          (fun n ->
+            if !count < max_graphs then
+              let f = Fission.with_n (Ftree.fission_at t i) n in
+              if Fission.is_valid g f then begin
+                let e = Fission.expand g f in
+                if Diagnostic.is_clean (Verify.graph e.Fission.graph) then begin
+                  incr count;
+                  out :=
+                    (Printf.sprintf "%s-f%dx%d" name i n, e.Fission.graph)
+                    :: !out
+                end
+              end)
+          [ 2; 3 ]
+      done)
+    corpus;
+  List.rev !out
+
 let pp_report ppf (r : report) =
   let by_rule = Hashtbl.create 16 in
   List.iter

@@ -57,3 +57,13 @@ val lint :
 
 val is_clean : report -> bool
 val pp_report : Format.formatter -> report -> unit
+
+(** [fission_corpus corpus] derives additional corpus graphs by
+    materializing each subject's F-Tree candidate fissions
+    ({!Magis_ftree.Fission.expand}) at fission numbers 2 and 3 — graphs
+    with the slice/per-part/merge seams that F-Trans produces, which no
+    hand-built or zoo graph exhibits.  Invalid or verifier-unclean
+    expansions are skipped; at most [max_graphs] (default 8) are
+    returned, named ["<subject>-f<entry>x<n>"]. *)
+val fission_corpus :
+  ?max_graphs:int -> (string * Graph.t) list -> (string * Graph.t) list

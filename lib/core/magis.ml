@@ -42,6 +42,8 @@ module Diagnostic = Magis_analysis.Diagnostic
 module Verify = Magis_analysis.Verify
 module Sched_check = Magis_analysis.Sched_check
 module Rule_lint = Magis_analysis.Rule_lint
+module Liveness = Magis_analysis.Liveness
+module Membound = Magis_analysis.Membound
 module Analysis_hooks = Magis_analysis.Hooks
 
 (* transformation rules *)

@@ -1,0 +1,25 @@
+(** Small shared utilities for the IR layer: integer maps/sets and a
+    deterministic 64-bit mixing hash used by {!Wl_hash}. *)
+
+module Int_map : Map.S with type key = int
+module Int_set : Set.S with type elt = int
+
+val int_set_of_list : int list -> Int_set.t
+
+(** SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer with a
+    stable definition across OCaml versions (unlike [Hashtbl.hash]). *)
+val mix64 : int64 -> int64
+
+val hash_combine : int64 -> int64 -> int64
+val hash_string : string -> int64
+val hash_int_list : int list -> int64
+
+(** [take n xs] is the first [n] elements of [xs] (all of them if
+    shorter). *)
+val take : int -> 'a list -> 'a list
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+val drop : int -> 'a list -> 'a list
+
+val sum_by : ('a -> int) -> 'a list -> int
+val sum_by_f : ('a -> float) -> 'a list -> float

@@ -58,6 +58,9 @@ type stats = {
   mutable iterations : int;
   mutable n_sim_hit : int;
   mutable n_sim_miss : int;
+  mutable n_bound_calls : int;
+  mutable t_bound : float;
+  mutable n_pruned_lb : int;
   mutable domain_time : float array;
       (** cumulative busy seconds per expansion worker *)
 }
@@ -76,6 +79,9 @@ let fresh_stats () =
     iterations = 0;
     n_sim_hit = 0;
     n_sim_miss = 0;
+    n_bound_calls = 0;
+    t_bound = 0.0;
+    n_pruned_lb = 0;
     domain_time = [||];
   }
 
@@ -93,7 +99,10 @@ let merge_stats (dst : stats) (src : stats) =
   dst.t_hash <- dst.t_hash +. src.t_hash;
   dst.n_filtered <- dst.n_filtered + src.n_filtered;
   dst.n_sim_hit <- dst.n_sim_hit + src.n_sim_hit;
-  dst.n_sim_miss <- dst.n_sim_miss + src.n_sim_miss
+  dst.n_sim_miss <- dst.n_sim_miss + src.n_sim_miss;
+  dst.n_bound_calls <- dst.n_bound_calls + src.n_bound_calls;
+  dst.t_bound <- dst.t_bound +. src.t_bound;
+  dst.n_pruned_lb <- dst.n_pruned_lb + src.n_pruned_lb
 
 type result = {
   best : Mstate.t;
@@ -122,6 +131,15 @@ let better_than (mode : mode) ?(delta = 1.0) (a : Mstate.t) (b : Mstate.t) :
     bool =
   let ka1, ka2 = key mode a and kb1, kb2 = key mode b in
   (ka1, ka2) < (delta *. kb1, delta *. kb2)
+
+(** The paper's δ = 1.1 queue-admission slack.  Shared between the
+    push test and the bound-pruning test: a candidate is dropped before
+    evaluation only when its admissible lower bound already proves it
+    would fail [better_than mode ~delta:queue_delta] against the
+    incumbent — which (key components being non-negative) also implies
+    it cannot become the new best, so pruning never changes the search
+    trajectory. *)
+let queue_delta = 1.1
 
 module Pq = Map.Make (struct
   type t = float * float
@@ -153,6 +171,13 @@ type config = {
   sim_cache : Sim_cache.t option;
       (** simulation cache; [None] (the default) uses a fresh private
           cache per run, [Some c] shares [c] across runs *)
+  prune_bounds : bool;
+      (** branch-and-bound pruning: drop candidates whose
+          schedule-independent lower bound ({!Magis_analysis.Membound})
+          proves they cannot pass the δ-relaxed queue admission test,
+          before rescheduling and simulation.  Trajectory-preserving:
+          the returned best state is bit-identical with pruning on or
+          off. *)
 }
 
 let default_config =
@@ -167,6 +192,7 @@ let default_config =
     verify_states = false;
     jobs = 1;
     sim_cache = None;
+    prune_bounds = true;
   }
 
 let timed _stats fld_t fld_n f =
@@ -264,14 +290,67 @@ let mode_fingerprint : mode -> int64 = function
   | Min_memory { lat_limit } ->
       Util.hash_combine 2L (Int64.bits_of_float lat_limit)
 
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound pruning                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Cut-candidate sample size for the hot-path memory lower bound.  Any
+    subset of cut positions yields an admissible (if weaker) bound, so a
+    small deterministic sample keeps the probe cheaper than the
+    reschedule + simulate it replaces. *)
+let bound_sample = 8
+
+(** Multiplicative safety margin on the float-summed latency lower
+    bound: the simulator accumulates the same per-op costs in schedule
+    order interleaved with maxes, so the two sums can differ by ulps.
+    Shrinking the bound by one part in 10⁹ keeps it admissible without
+    weakening it measurably. *)
+let lat_lb_margin = 1.0 -. 1e-9
+
+(** Pruning decision context, frozen on the orchestrating domain once
+    per iteration (so every worker prunes against the same incumbent and
+    a parallel run stays bit-identical to a serial one).  [threshold] is
+    [queue_delta *. fst (key mode !best)]: a candidate whose clamped
+    first key component provably exceeds it fails the push test — and,
+    components being non-negative, the δ = 1 best-update test too. *)
+type bound_check =
+  | No_prune
+  | Prune_mem of { threshold : float; mem_limit : int }
+  | Prune_lat of { threshold : float; lat_limit : float }
+
+let bound_check_of (cfg : config) (mode : mode) (best : Mstate.t) :
+    bound_check =
+  if not cfg.prune_bounds then No_prune
+  else
+    let threshold = queue_delta *. fst (key mode best) in
+    match mode with
+    | Min_latency { mem_limit } -> Prune_mem { threshold; mem_limit }
+    | Min_memory { lat_limit } -> Prune_lat { threshold; lat_limit }
+
+(** Admissible latency floor of a proposal: serialized compute time of
+    every non-swap operator plus the F-Tree's virtual-fission overhead.
+    The simulator's latency is [max t_compute t_copy >= t_compute], and
+    [t_compute] sums exactly these costs over the schedule. *)
+let proposal_latency_lb (acc : Ftree.accounting) (g : Graph.t) : float =
+  (Magis_analysis.Membound.latency_lower_bound ~cost_of:acc.cost_of g
+  +. acc.extra_latency)
+  *. lat_lb_margin
+
 (** Evaluate a proposal: incremental reschedule + simulation, memoized
     in the simulation cache.  [state_hash] is the proposal's dedup hash
     (WL ⊕ F-Tree fingerprint), already computed by the hash phase;
     [parent_sched_hash] digests the schedule being incrementally
-    rewritten.  Runs on a worker domain: it must only write [stats] (a
-    worker-local accumulator) and the domain-safe caches. *)
-let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~iteration
-    ~state_hash ~parent_sched_hash (s : Mstate.t) (p : proposal) : Mstate.t =
+    rewritten.  Returns [None] when the bound probe prunes the
+    candidate: on a cache miss only, an admissible lower bound already
+    above the δ-relaxed incumbent threshold proves the evaluation could
+    neither improve the best state nor enter the queue.  Pruned
+    candidates touch neither the hit/miss counters nor the cache (a
+    later, tighter incumbent must not find a poisoned entry).  Runs on
+    a worker domain: it must only write [stats] (a worker-local
+    accumulator) and the domain-safe caches. *)
+let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~bound_check
+    ~iteration ~state_hash ~parent_sched_hash (s : Mstate.t) (p : proposal) :
+    Mstate.t option =
   let key =
     Sim_cache.key ~state:state_hash ~parent_sched:parent_sched_hash
       ~mutated:(Util.hash_int_list (Int_set.elements p.p_mutated))
@@ -280,34 +359,70 @@ let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~iteration
   match Sim_cache.find ec.ec_sim key with
   | Some v ->
       stats.n_sim_hit <- stats.n_sim_hit + 1;
-      Mstate.of_cached ~ftree_stale:p.p_stale p.p_graph p.p_ftree v
+      Some (Mstate.of_cached ~ftree_stale:p.p_stale p.p_graph p.p_ftree v)
   | None ->
-      stats.n_sim_miss <- stats.n_sim_miss + 1;
       let acc = Ftree.accounting ec.ec_cache p.p_graph p.p_ftree in
-      let schedule, _ =
-        timed stats
-          (fun dt -> stats.t_sched <- stats.t_sched +. dt)
-          (fun () -> stats.n_sched <- stats.n_sched + 1)
-          (fun () ->
-            Magis_sched.Incremental.reschedule ~max_states:cfg.sched_states
-              ~old_graph:s.graph ~new_graph:p.p_graph
-              ~old_schedule:s.schedule ~mutated_old:p.p_mutated
-              ~size_of:acc.size_of ())
+      let pruned =
+        match bound_check with
+        | No_prune -> false
+        | Prune_mem { threshold; mem_limit } ->
+            timed stats
+              (fun dt -> stats.t_bound <- stats.t_bound +. dt)
+              (fun () -> stats.n_bound_calls <- stats.n_bound_calls + 1)
+              (fun () ->
+                let lb =
+                  Magis_analysis.Membound.lower_bound ~size_of:acc.size_of
+                    ~sample:bound_sample p.p_graph
+                in
+                float_of_int (max lb mem_limit) > threshold)
+        | Prune_lat { threshold; lat_limit } ->
+            timed stats
+              (fun dt -> stats.t_bound <- stats.t_bound +. dt)
+              (fun () -> stats.n_bound_calls <- stats.n_bound_calls + 1)
+              (fun () ->
+                let lb = proposal_latency_lb acc p.p_graph in
+                Float.max lb lat_limit > threshold)
       in
-      let s' =
-        timed stats
-          (fun dt -> stats.t_simul <- stats.t_simul +. dt)
-          (fun () -> stats.n_simul <- stats.n_simul + 1)
-          (fun () ->
-            Mstate.evaluate ~ftree_stale:p.p_stale ec.ec_cache p.p_graph
-              p.p_ftree schedule)
-      in
-      if cfg.verify_states then
-        Magis_analysis.Hooks.assert_state
-          ~what:(Printf.sprintf "M-state (iteration %d)" iteration)
-          s'.graph s'.schedule;
-      Sim_cache.add ec.ec_sim key (Mstate.to_cached s');
-      s'
+      if pruned then begin
+        stats.n_pruned_lb <- stats.n_pruned_lb + 1;
+        None
+      end
+      else begin
+        stats.n_sim_miss <- stats.n_sim_miss + 1;
+        let schedule, _ =
+          timed stats
+            (fun dt -> stats.t_sched <- stats.t_sched +. dt)
+            (fun () -> stats.n_sched <- stats.n_sched + 1)
+            (fun () ->
+              Magis_sched.Incremental.reschedule ~max_states:cfg.sched_states
+                ~old_graph:s.graph ~new_graph:p.p_graph
+                ~old_schedule:s.schedule ~mutated_old:p.p_mutated
+                ~size_of:acc.size_of ())
+        in
+        let s' =
+          timed stats
+            (fun dt -> stats.t_simul <- stats.t_simul +. dt)
+            (fun () -> stats.n_simul <- stats.n_simul + 1)
+            (fun () ->
+              Mstate.evaluate ~ftree_stale:p.p_stale ec.ec_cache p.p_graph
+                p.p_ftree schedule)
+        in
+        if cfg.verify_states then begin
+          let what = Printf.sprintf "M-state (iteration %d)" iteration in
+          Magis_analysis.Hooks.assert_state ~what s'.graph s'.schedule;
+          Magis_analysis.Hooks.assert_bounds ~exact:false ~what
+            ~size_of:acc.size_of s'.graph ~peak:s'.peak_mem ();
+          let lat_lb = proposal_latency_lb acc p.p_graph in
+          if s'.latency < lat_lb then
+            failwith
+              (Printf.sprintf
+                 "%s violated the latency lower bound: simulated %.9f < \
+                  bound %.9f"
+                 what s'.latency lat_lb)
+        end;
+        Sim_cache.add ec.ec_sim key (Mstate.to_cached s');
+        Some s'
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
@@ -352,9 +467,13 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
     if config.ablation.use_ftree_heuristic then s
     else { s with ftree = Ftree.construct_naive graph }
   in
-  if config.verify_states then
+  if config.verify_states then begin
     Magis_analysis.Hooks.assert_state ~what:"initial M-state" init.graph
       init.schedule;
+    let acc = Ftree.accounting cache init.graph init.ftree in
+    Magis_analysis.Hooks.assert_bounds ~what:"initial M-state"
+      ~size_of:acc.size_of init.graph ~peak:init.peak_mem ()
+  end;
   let best = ref init in
   let history = ref [ (elapsed (), init.peak_mem, init.latency) ] in
   let seen = Hashtbl.create 1024 in
@@ -471,15 +590,21 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
              |> Array.of_list
            in
            (* Phase 3 (parallel): reschedule + simulate the survivors.
-              Each worker accumulates into its own stats record. *)
+              Each worker accumulates into its own stats record.  The
+              pruning threshold is frozen here, against the incumbent at
+              the start of the phase: the incumbent only improves during
+              phase 4, so the frozen threshold is conservative, and
+              freezing it keeps prune decisions independent of worker
+              scheduling. *)
            let parent_sched_hash = Util.hash_int_list s.schedule in
            let iteration = stats.iterations in
+           let bound_check = bound_check_of config mode !best in
            let evaluated =
              Pool.map pool
                (fun ((p : proposal), h) ->
                  let local = fresh_stats () in
                  let s' =
-                   evaluate_proposal config ec local ~iteration
+                   evaluate_proposal config ec local ~bound_check ~iteration
                      ~state_hash:h ~parent_sched_hash s p
                  in
                  (s', local))
@@ -488,14 +613,18 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
            (* Phase 4 (serial, candidate order): fold worker stats and
               merge into best/queue — bit-identical to the serial loop. *)
            Array.iter
-             (fun ((s' : Mstate.t), local) ->
+             (fun ((s' : Mstate.t option), local) ->
                merge_stats stats local;
-               if better_than mode s' !best then begin
-                 best := s';
-                 history :=
-                   (elapsed (), s'.peak_mem, s'.latency) :: !history
-               end;
-               if better_than mode ~delta:1.1 s' !best then push s')
+               match s' with
+               | None -> ()
+               | Some s' ->
+                   if better_than mode s' !best then begin
+                     best := s';
+                     history :=
+                       (elapsed (), s'.peak_mem, s'.latency) :: !history
+                   end;
+                   if better_than mode ~delta:queue_delta s' !best then
+                     push s')
              evaluated
      done
    with Exit -> ());

@@ -32,6 +32,13 @@ type stats = {
   mutable iterations : int;
   mutable n_sim_hit : int;  (** evaluations served by the simulation cache *)
   mutable n_sim_miss : int;  (** evaluations computed and then cached *)
+  mutable n_bound_calls : int;
+      (** lower-bound probes run on simulation-cache misses *)
+  mutable t_bound : float;  (** seconds spent in bound probes *)
+  mutable n_pruned_lb : int;
+      (** candidates dropped before reschedule/simulate because their
+          admissible lower bound already failed the δ-relaxed admission
+          test (counted in neither [n_sim_hit] nor [n_sim_miss]) *)
   mutable domain_time : float array;
       (** cumulative busy seconds per expansion worker ([jobs] cells;
           one cell for a serial run) *)
@@ -57,7 +64,10 @@ type config = {
   use_sweep_rules : bool;  (** compound swap/remat rules *)
   verify_states : bool;
       (** debug: run {!Magis_analysis.Verify} and
-          {!Magis_analysis.Sched_check} on every accepted M-state,
+          {!Magis_analysis.Sched_check} on every accepted M-state, and
+          additionally assert the bound invariant
+          [Membound.lower <= simulated peak <= Membound.ub_total] (plus
+          the latency floor) via {!Magis_analysis.Hooks.assert_bounds},
           raising [Failure] on the first violation (tests/CI on,
           benchmarks off) *)
   jobs : int;
@@ -70,6 +80,17 @@ type config = {
       (** memoizes (reschedule → simulate) evaluations.  [None] (the
           default) uses a fresh private cache per run; pass [Some c] to
           share hits across searches (ablation sweeps, repeated runs). *)
+  prune_bounds : bool;
+      (** branch-and-bound pruning (default [true]): on a
+          simulation-cache miss, probe the candidate with the
+          schedule-independent {!Magis_analysis.Membound} lower bound
+          (peak memory in [Min_latency] mode, serialized compute time in
+          [Min_memory] mode) and drop it before reschedule/simulate when
+          the bound proves it would fail the δ-relaxed queue admission
+          against the incumbent.  Because the bound is admissible and
+          the threshold uses the same δ as the push test,
+          pruning never changes the returned best state — only
+          [n_pruned_lb]/[n_bound_calls] and the time spent. *)
 }
 
 val default_config : config

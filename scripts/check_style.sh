@@ -52,6 +52,17 @@ for f in $files; do
   fi
 done
 
+# 5. every library module has an explicit interface.  lib/core/magis.ml is
+# the facade (pure re-exports; an .mli would just duplicate it).
+for f in $(git ls-files -- 'lib/*.ml' 'lib/**/*.ml'); do
+  case "$f" in
+    lib/core/magis.ml) continue ;;
+  esac
+  if [ ! -f "${f}i" ]; then
+    fail "$f: library module without a corresponding .mli"
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "style: clean ($(echo "$files" | wc -w) files)"
 fi

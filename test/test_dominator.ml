@@ -74,6 +74,66 @@ let test_subtree_vs_strict () =
     (Int_set.cardinal (Dominator.strict_subtree t x) + 1)
     (Int_set.cardinal (Dominator.subtree t x))
 
+let test_single_node_graph () =
+  let b = Builder.create () in
+  let x = Builder.input b [ 4 ] ~dtype:Shape.F32 in
+  let g = Builder.finish b in
+  let t = Dominator.compute g in
+  Alcotest.(check (option int)) "lone input rooted at virtual root"
+    (Some Dominator.virtual_root) (Dominator.idom t x);
+  Alcotest.(check bool) "reflexive on a singleton" true
+    (Dominator.dominates t x x);
+  check_set "empty strict subtree" [] (Dominator.strict_subtree t x)
+
+let test_multi_sink_fanout () =
+  (* x fans out to two independent sinks: both are immediately dominated
+     by x, and neither sink dominates the other *)
+  let b = Builder.create () in
+  let x = Builder.input b [ 8 ] ~dtype:Shape.F32 in
+  let a = Builder.relu b x in
+  let c = Builder.tanh_ b x in
+  let g = verified ~what:"two sinks" (Builder.finish b) in
+  let t = Dominator.compute g in
+  Alcotest.(check (option int)) "sink a under x" (Some x) (Dominator.idom t a);
+  Alcotest.(check (option int)) "sink c under x" (Some x) (Dominator.idom t c);
+  Alcotest.(check bool) "sinks do not dominate each other" false
+    (Dominator.dominates t a c || Dominator.dominates t c a);
+  check_set "x dominates both sinks" [ a; c ] (Dominator.strict_subtree t x)
+
+let test_multi_sink_shared_interior () =
+  (* diamond whose branches are ALSO graph outputs: the interior join has
+     two dominating paths, so its idom stays the fork even though each
+     branch is a sink *)
+  let b = Builder.create () in
+  let x = Builder.input b [ 8 ] ~dtype:Shape.F32 in
+  let l = Builder.relu b x in
+  let r = Builder.tanh_ b x in
+  let j = Builder.add b l r in
+  let l' = Builder.sigmoid b l in
+  let r' = Builder.sigmoid b r in
+  let g = verified ~what:"three sinks" (Builder.finish b) in
+  let t = Dominator.compute g in
+  Alcotest.(check (option int)) "join under the fork" (Some x)
+    (Dominator.idom t j);
+  Alcotest.(check (option int)) "sink l' under l" (Some l)
+    (Dominator.idom t l');
+  Alcotest.(check (option int)) "sink r' under r" (Some r)
+    (Dominator.idom t r')
+
+let test_weights_absent_from_tree () =
+  (* weights are not entries: a weight node has no idom, and operators fed
+     by both an activation and a weight are dominated through the
+     activation path only *)
+  let g = mlp_training () in
+  let t = Dominator.compute g in
+  Graph.iter
+    (fun n ->
+      if n.op = Op.Input Op.Weight then
+        Alcotest.(check (option int))
+          (Printf.sprintf "weight %d outside the tree" n.id)
+          None (Dominator.idom t n.id))
+    g
+
 let test_dominator_soundness_random () =
   (* brute-force check on a small random DNN: u dominates v iff removing
      u disconnects v from all entries *)
@@ -123,5 +183,9 @@ let suite =
     tc "sub-graph restriction" test_members_restriction;
     tc "entries override" test_entries_override;
     tc "subtree vs strict subtree" test_subtree_vs_strict;
+    tc "single-node graph" test_single_node_graph;
+    tc "multi-sink fan-out" test_multi_sink_fanout;
+    tc "multi-sink with shared interior" test_multi_sink_shared_interior;
+    tc "weights absent from the tree" test_weights_absent_from_tree;
     tc "soundness vs brute force" test_dominator_soundness_random;
   ]

@@ -20,6 +20,7 @@ let () =
       ("incremental", Test_incremental.suite);
       ("rules", Test_rules.suite);
       ("verify", Test_verify.suite);
+      ("membound", Test_membound.suite);
       ("autodiff", Test_autodiff.suite);
       ("models", Test_models.suite);
       ("baselines", Test_baselines.suite);

@@ -84,6 +84,33 @@ let test_striped_concurrent_writers () =
       Alcotest.failf "binding %d lost or corrupted" i
   done
 
+(** Stress: 8 domains hammering a 4-stripe table through a 64-key space,
+    so nearly every operation contends on a stripe lock.  Values are a
+    pure function of the key, so any lost update, phantom binding or
+    torn read is detectable after (and during) the storm. *)
+let test_striped_colliding_stress () =
+  let t = Striped.create ~stripes:4 () in
+  let pool = Pool.create 8 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let n = 4_000 and keys = 64 in
+  ignore
+    (Pool.map pool
+       (fun i ->
+         let k = i mod keys in
+         Striped.add t (Int64.of_int k) (k * 1009);
+         let probe = i * 31 mod keys in
+         match Striped.find t (Int64.of_int probe) with
+         | None -> ()
+         | Some v ->
+             if v <> probe * 1009 then
+               Alcotest.failf "key %d read %d (torn or misfiled write)" probe v)
+       (Array.init n (fun i -> i)));
+  Alcotest.(check int) "no lost or phantom keys" keys (Striped.length t);
+  for k = 0 to keys - 1 do
+    if Striped.find t (Int64.of_int k) <> Some (k * 1009) then
+      Alcotest.failf "key %d lost its value" k
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Simulation cache                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -127,6 +154,43 @@ let test_sim_cache_no_cross_mode_collision () =
     (Sim_cache.find c (mk_key ~hw:45L ()) = None);
   Alcotest.(check bool) "other DP budget misses" true
     (Sim_cache.find c (mk_key ~sched_states:100 ()) = None)
+
+(** Stress the cache's concurrent find/add accounting: 8 domains race
+    find-then-add over 64 colliding keys.  Hit/miss counters are
+    atomic, so after the storm [hits + misses] must equal the exact
+    number of finds issued — a lost increment fails the check — and
+    every key must hold the value derived from it. *)
+let test_sim_cache_concurrent_accounting () =
+  let c = Sim_cache.create ~stripes:4 () in
+  let pool = Pool.create 8 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let n = 4_000 and keys = 64 in
+  let key_of k = mk_key ~state:(Int64.of_int k) () in
+  let value_of k =
+    { Sim_cache.schedule = [ k; k + 1 ]; peak_mem = k * 13;
+      latency = float_of_int k; hotspots = [ k ] }
+  in
+  ignore
+    (Pool.map pool
+       (fun i ->
+         let k = i mod keys in
+         match Sim_cache.find c (key_of k) with
+         | Some v ->
+             if v.peak_mem <> k * 13 || v.schedule <> [ k; k + 1 ] then
+               Alcotest.failf "key %d returned another key's value" k
+         | None -> Sim_cache.add c (key_of k) (value_of k))
+       (Array.init n (fun i -> i)));
+  let hits, misses = Sim_cache.stats c in
+  Alcotest.(check int) "every find accounted exactly once" n (hits + misses);
+  Alcotest.(check bool) "each key missed at least once" true (misses >= keys);
+  Alcotest.(check int) "one binding per key" keys (Sim_cache.length c);
+  for k = 0 to keys - 1 do
+    match Sim_cache.find c (key_of k) with
+    | None -> Alcotest.failf "key %d lost" k
+    | Some v ->
+        if v.peak_mem <> k * 13 || v.hotspots <> [ k ] then
+          Alcotest.failf "key %d holds a foreign value" k
+  done
 
 let test_hardware_fingerprint () =
   Alcotest.(check bool) "fingerprint is stable" true
@@ -212,7 +276,10 @@ let suite =
     tc "pool re-raises lowest-index failure" test_pool_exception_lowest_index;
     tc "striped table basics" test_striped_basic;
     tc "striped table concurrent writers" test_striped_concurrent_writers;
+    tc "striped table colliding-key stress" test_striped_colliding_stress;
     tc "sim cache hits identical key" test_sim_cache_hit_after_identical_key;
+    tc "sim cache concurrent accounting stress"
+      test_sim_cache_concurrent_accounting;
     tc "sim cache misses after rewrite" test_sim_cache_miss_after_rewrite;
     tc "sim cache mode/hw/budget isolation"
       test_sim_cache_no_cross_mode_collision;
