@@ -23,6 +23,7 @@ let experiments : (string * (Common.env -> unit)) list =
     ("spatial", Spatial_bench.run);
     ("par", Par_bench.run);
     ("bounds", Bounds_bench.run);
+    ("resilience", Resilience_bench.run);
   ]
 
 let run_selected names full budget jobs iters =

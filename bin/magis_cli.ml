@@ -11,7 +11,13 @@
       peak-memory bound analysis, with the bound-invariant check against
       two concrete schedules;
     - [magis_cli lint-rules] — differential lint of every rewrite rule
-      over the model corpus ([dune build @lint]). *)
+      over the model corpus ([dune build @lint]);
+    - [magis_cli chaos --seed N] — fault-injection self test: a seeded
+      search must survive every fault class (CI's chaos-smoke job).
+
+    [optimize] exit codes: 3 = interrupted by SIGINT/SIGTERM after
+    writing its checkpoint (rerun with [--resume]); 4 = the checkpoint
+    file is incompatible with the requested run. *)
 
 open Magis
 
@@ -53,16 +59,40 @@ let cmd_inspect name full =
       (Util.Int_set.cardinal (Fission.members e.fission))
   done
 
-let cmd_optimize name full overhead mem_ratio budget jobs =
+(* exit codes of [optimize] (documented in the README): 3 = the search
+   was interrupted by a signal after writing its checkpoint, 4 = the
+   checkpoint on disk is incompatible with this run *)
+let exit_interrupted = 3
+let exit_incompatible = 4
+
+let cmd_optimize name full overhead mem_ratio budget iters jobs ckpt resume
+    ckpt_every no_supervise =
   let w, g = load name full in
   let cache = Op_cost.create Hardware.default in
   let base = Simulator.run cache g (Graph.program_order g) in
-  let config = { Search.default_config with time_budget = budget; jobs } in
+  if resume && ckpt = None then begin
+    prerr_endline "magis: --resume requires --checkpoint FILE";
+    exit 2
+  end;
+  let checkpoint =
+    Option.map
+      (fun path ->
+        { Search.ckpt_path = path; ckpt_every; ckpt_resume = resume })
+      ckpt
+  in
+  let config =
+    { Search.default_config with time_budget = budget; jobs;
+      max_iterations = iters; checkpoint; supervise = not no_supervise }
+  in
   let result =
-    match (overhead, mem_ratio) with
-    | Some o, _ -> Search.optimize_memory ~config cache ~overhead:o g
-    | None, Some r -> Search.optimize_latency ~config cache ~mem_ratio:r g
-    | None, None -> Search.optimize_memory ~config cache ~overhead:0.10 g
+    try
+      match (overhead, mem_ratio) with
+      | Some o, _ -> Search.optimize_memory ~config cache ~overhead:o g
+      | None, Some r -> Search.optimize_latency ~config cache ~mem_ratio:r g
+      | None, None -> Search.optimize_memory ~config cache ~overhead:0.10 g
+    with Checkpoint.Incompatible reason ->
+      Printf.eprintf "magis: incompatible checkpoint: %s\n" reason;
+      exit exit_incompatible
   in
   let best = result.best in
   Printf.printf "%s: %.1f MB / %.2f ms  ->  %.1f MB / %.2f ms\n" w.name
@@ -83,7 +113,158 @@ let cmd_optimize name full overhead mem_ratio budget jobs =
       Printf.printf "    fission: %d ops into %d parts\n"
         (Util.Int_set.cardinal (Fission.members f))
         (Fission.fission_number f))
-    (Ftree.enabled_indices best.ftree)
+    (Ftree.enabled_indices best.ftree);
+  if result.stats.n_retried > 0 || result.stats.n_quarantined > 0 then
+    Printf.printf "  resilience: %d candidate(s) retried, %d quarantined\n"
+      result.stats.n_retried result.stats.n_quarantined;
+  List.iter
+    (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
+    result.diagnostics;
+  List.iter
+    (fun (t, step) -> Printf.printf "  degraded at %.1fs: %s\n" t step)
+    result.stats.degrade_steps;
+  if result.stats.n_checkpoints > 0 then
+    Printf.printf "  checkpoints: %d written to %s\n"
+      result.stats.n_checkpoints
+      (match ckpt with Some p -> p | None -> "?");
+  if result.interrupted then begin
+    Printf.printf "  interrupted by %s; state saved, rerun with --resume\n"
+      (match Interrupt.signal_name () with Some s -> s | None -> "signal");
+    exit exit_interrupted
+  end
+
+(** Chaos harness: a seeded Randnet search is run fault-free, then once
+    per (site, fault kind) with a transient fault planted at a
+    pseudo-random visit inside the fault-free visit range.  Transient
+    faults must leave the result bit-identical (the supervisor retries
+    them); a persistent burst must quarantine — never crash — and a
+    NaN burst must surface as a nonfinite-cost diagnostic.  Exits
+    non-zero on the first violated expectation. *)
+let cmd_chaos seed jobs iters =
+  let g =
+    Randnet.build
+      ~cfg:
+        { Randnet.cells = 2; nodes_per_cell = 4; channels = 8; image = 8;
+          batch = 2; seed }
+      ()
+  in
+  let config =
+    { Search.default_config with time_budget = 1e9; max_iterations = iters;
+      jobs }
+  in
+  let run_once () =
+    (* fresh cost cache per run: fault-site visit counts and results
+       must not depend on warmth left by a previous run *)
+    let cache = Op_cost.create Hardware.default in
+    Search.optimize_memory ~config cache ~overhead:0.10 g
+  in
+  Fault.observe ();
+  let clean = run_once () in
+  let visits = List.map (fun s -> (s, Fault.visits s)) Fault.sites in
+  Fault.disarm ();
+  Printf.printf "chaos: seed %d, %d iteration(s), clean best %.1f MB / %.2f ms\n"
+    seed clean.stats.iterations
+    (mb clean.best.peak_mem) (ms clean.best.latency);
+  List.iter (fun (s, v) -> Printf.printf "  site %-12s %d visit(s)\n" s v)
+    visits;
+  let failures = ref 0 in
+  let case label specs check =
+    Fault.arm specs;
+    let outcome = try Ok (run_once ()) with e -> Error e in
+    let fired = List.length (Fault.fired ()) in
+    Fault.disarm ();
+    match outcome with
+    | Error e ->
+        incr failures;
+        Printf.printf "FAIL %-28s crashed: %s\n" label (Printexc.to_string e)
+    | Ok r when fired = 0 ->
+        incr failures;
+        Printf.printf "FAIL %-28s no fault fired (%d quarantined)\n" label
+          r.stats.n_quarantined
+    | Ok r -> (
+        match check r with
+        | None -> Printf.printf "ok   %-28s %d fired, %d retried, %d quarantined\n"
+                    label fired r.stats.n_retried r.stats.n_quarantined
+        | Some why ->
+            incr failures;
+            Printf.printf "FAIL %-28s %s (%d fired, %d retried, %d quarantined)\n"
+              label why fired r.stats.n_retried r.stats.n_quarantined)
+  in
+  let identical (r : Search.result) =
+    if
+      r.best.peak_mem = clean.best.peak_mem
+      && r.best.latency = clean.best.latency
+      && r.stats.iterations = clean.stats.iterations
+    then None
+    else
+      Some
+        (Printf.sprintf "diverged: %.1f MB / %.2f ms (clean %.1f / %.2f)"
+           (mb r.best.peak_mem) (ms r.best.latency)
+           (mb clean.best.peak_mem) (ms clean.best.latency))
+  in
+  let window site =
+    let v = List.assoc site visits in
+    (* skip the early visits: the baseline simulation and the initial
+       M-state are evaluated outside the supervised expansion loop *)
+    (max 4 (v / 3), max 5 (2 * v / 3))
+  in
+  (* transient faults: one planted visit per site; the supervisor's
+     retry must reproduce the fault-free result exactly *)
+  List.iter
+    (fun site ->
+      let lo, hi = window site in
+      let kinds =
+        [ ("exception", Fault.Exception); ("delay", Fault.Delay 0.002);
+          ("stall", Fault.Stall 0.02) ]
+        @ if site = "op_cost" then [ ("nan", Fault.Nan_cost) ] else []
+      in
+      List.iter
+        (fun (kname, kind) ->
+          case
+            (Printf.sprintf "transient %s @ %s" kname site)
+            (Fault.seeded ~seed ~lo ~hi [ (site, kind) ])
+            identical)
+        kinds)
+    Fault.sites;
+  (* Persistent faults: every visit of the site fails for a long
+     stretch, so no bounded retry can outrun it — candidates must be
+     quarantined with the right diagnostic, and the search must still
+     return.  The burst must outlast a whole batch pass plus the retry
+     chain of at least one candidate (each failing execution consumes
+     exactly one visit, and the pool pass spreads the first failures
+     across the batch before any retry runs). *)
+  let persistent_len = 400 in
+  (let site = "simulator" in
+   let lo, _ = window site in
+   case "persistent exception burst"
+     (Fault.burst ~site ~at:lo ~len:persistent_len Fault.Exception)
+     (fun r ->
+       if r.stats.n_quarantined = 0 then Some "nothing was quarantined"
+       else if
+         not
+           (List.exists
+              (fun (d : Diagnostic.t) -> d.check = "injected-fault")
+              r.diagnostics)
+       then Some "no injected-fault diagnostic"
+       else None));
+  (let site = "op_cost" in
+   let lo, _ = window site in
+   case "persistent nan burst"
+     (Fault.burst ~site ~at:lo ~len:persistent_len Fault.Nan_cost)
+     (fun r ->
+       if r.stats.n_quarantined = 0 then Some "nothing was quarantined"
+       else if
+         not
+           (List.exists
+              (fun (d : Diagnostic.t) -> d.check = "nonfinite-cost")
+              r.diagnostics)
+       then Some "no nonfinite-cost diagnostic"
+       else None));
+  if !failures > 0 then begin
+    Printf.printf "chaos: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "chaos: all fault classes survived"
 
 let cmd_codegen name full budget output =
   let _, g = load name full in
@@ -275,9 +456,55 @@ let optimize_cmd =
          & info [ "j"; "jobs" ]
              ~doc:"Worker domains for candidate expansion (1 = serial).")
   in
+  let iters =
+    Arg.(value & opt int max_int
+         & info [ "iters" ] ~doc:"Maximum search iterations.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ]
+             ~doc:"Write crash-safe search snapshots to this file.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from the checkpoint file when one exists \
+                   (requires --checkpoint; exit code 4 when the file is \
+                   incompatible with this run).")
+  in
+  let ckpt_every =
+    Arg.(value & opt float 30.0
+         & info [ "ckpt-every" ] ~doc:"Seconds between periodic snapshots.")
+  in
+  let no_supervise =
+    Arg.(value & flag
+         & info [ "no-supervise" ]
+             ~doc:"Disable supervised expansion: the first candidate \
+                   failure aborts the whole search (legacy semantics).")
+  in
   Cmd.v (Cmd.info "optimize" ~doc:"Optimize a workload")
     Term.(const cmd_optimize $ workload $ full $ overhead $ mem_ratio $ budget
-          $ jobs)
+          $ iters $ jobs $ checkpoint $ resume $ ckpt_every $ no_supervise)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Randnet and fault-plan seed.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for candidate expansion (1 = serial).")
+  in
+  let iters =
+    Arg.(value & opt int 8 & info [ "iters" ] ~doc:"Search iterations per run.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection self test: a seeded search must survive every \
+          fault class, reproducing the fault-free result exactly under \
+          transient faults and quarantining persistent ones")
+    Term.(const cmd_chaos $ seed $ jobs $ iters)
 
 let codegen_cmd =
   let budget =
@@ -344,4 +571,4 @@ let () =
        (Cmd.group
           (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
           [ list_cmd; inspect_cmd; optimize_cmd; codegen_cmd; export_cmd;
-            verify_cmd; analyze_cmd; lint_rules_cmd ]))
+            verify_cmd; analyze_cmd; lint_rules_cmd; chaos_cmd ]))

@@ -31,6 +31,12 @@ module Sim_cache = Magis_cost.Sim_cache
 module Pool = Magis_par.Pool
 module Striped = Magis_par.Striped
 
+(* resilience: fault injection, retry, crash-safe checkpoints *)
+module Fault = Magis_resilience.Fault
+module Retry = Magis_resilience.Retry
+module Checkpoint = Magis_resilience.Checkpoint
+module Interrupt = Magis_resilience.Interrupt
+
 (* dimension graph and fission *)
 module Dgraph = Magis_dgraph.Dgraph
 module Fission = Magis_ftree.Fission

@@ -13,6 +13,26 @@
     no-op in effect. *)
 
 open Magis_ir
+module Fault = Magis_resilience.Fault
+
+exception Non_finite of { what : string; value : float }
+
+let () =
+  Printexc.register_printer (function
+    | Non_finite { what; value } ->
+        Some
+          (Printf.sprintf "Magis_cost.Op_cost.Non_finite(%s = %h)" what value)
+    | _ -> None)
+
+(** Finiteness guard: every cost this module (or a cost hook built on
+    it) hands to the search must be a finite non-negative number of
+    seconds.  A NaN would silently poison every comparison downstream —
+    the priority queue, the δ-admission test, the bound probes — so it
+    is converted to a structured exception at the source, which the
+    supervised search quarantines as a diagnostic. *)
+let check_finite ~what value =
+  if not (Float.is_finite value) || value < 0.0 then
+    raise (Non_finite { what; value })
 
 type t = {
   hw : Hardware.t;
@@ -49,11 +69,17 @@ let cost t (op : Op.kind) (ins : Shape.t array) (out : Shape.t) : float =
   | Some c ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.lock;
+      (* the fault site covers hits and misses alike, so a site visit
+         count is independent of cache warmth *)
+      let c = Fault.cost "op_cost" c in
+      check_finite ~what:(Op.name op ^ " cost") c;
       c
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.lock;
-      let c = compute_raw t.hw op ins out in
+      let c = Fault.cost "op_cost" (compute_raw t.hw op ins out) in
+      (* guard before caching: a corrupted value must never be memoized *)
+      check_finite ~what:(Op.name op ^ " cost") c;
       Mutex.lock t.lock;
       Hashtbl.replace t.cache k c;
       Mutex.unlock t.lock;

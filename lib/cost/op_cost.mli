@@ -4,6 +4,17 @@
 
 open Magis_ir
 
+(** Raised when a computed cost is NaN, infinite or negative — from the
+    analytic model itself, a fission-accounting hook built on it, or an
+    injected [Nan_cost] fault.  The supervised search quarantines the
+    offending candidate with a ["nonfinite-cost"] diagnostic instead of
+    letting the value poison the priority queue. *)
+exception Non_finite of { what : string; value : float }
+
+(** [check_finite ~what v] raises {!Non_finite} unless [0 <= v < ∞].
+    Exposed for the simulator and other cost-consuming layers. *)
+val check_finite : what:string -> float -> unit
+
 type t = {
   hw : Hardware.t;
   cache : (int64, float) Hashtbl.t;  (** guarded by [lock] *)

@@ -30,6 +30,7 @@ let key ~state ~parent_sched ~mutated ~sched_states ~mode ~hw =
   Util.hash_combine h hw
 
 let find t k =
+  Magis_resilience.Fault.hit "sim_cache";
   match Magis_par.Striped.find t.tbl k with
   | Some _ as r ->
       Atomic.incr t.hits;

@@ -13,7 +13,9 @@
 
     The table is a striped-lock table ({!Magis_par.Striped}) shared
     across the expansion pool's domains; hit/miss counters are atomic
-    and surface through [Search.stats] and the Fig. 15 bench output. *)
+    and surface through [Search.stats] and the Fig. 15 bench output.
+    [find] is a fault-injection site (["sim_cache"],
+    {!Magis_resilience.Fault}). *)
 
 (** Cached outcome of evaluating one M-state. *)
 type value = {

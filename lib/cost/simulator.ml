@@ -25,6 +25,7 @@ type result = {
 
 let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
     (order : int list) : result =
+  Magis_resilience.Fault.hit "simulator";
   let cost_of =
     match cost_of with
     | Some f -> f
@@ -55,12 +56,20 @@ let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
       | Op.Input _ -> Hashtbl.replace finish v 0.0
       | _ ->
           let dur = cost_of v in
+          (* the [cost_of] hook may come from fission accounting or any
+             other caller-supplied model: guard it like Op_cost guards
+             its own values, so a NaN duration surfaces as a structured
+             exception instead of a poisoned latency *)
+          Op_cost.check_finite
+            ~what:(Printf.sprintf "node %d scheduled cost" v)
+            dur;
           let start = max !t_compute (ready v) in
           t_compute := start +. dur;
           compute_busy := !compute_busy +. dur;
           Hashtbl.replace finish v !t_compute)
     order;
   let latency = max !t_compute !t_copy in
+  Op_cost.check_finite ~what:"simulated latency" latency;
   let analysis = Lifetime.analyze ?size_of g order in
   {
     latency;

@@ -1,7 +1,13 @@
 (** Schedule simulator: a two-stream device model (compute + copy) in
     which Store/Load overlap with computation, synchronizing only through
     data dependencies — the paper's asynchronous swapping.  [cost_of] and
-    [size_of] let the fission layer reshape costs and sizes. *)
+    [size_of] let the fission layer reshape costs and sizes.
+
+    Every scheduled duration and the final latency pass through
+    {!Op_cost.check_finite}, so a NaN from any cost hook raises
+    {!Op_cost.Non_finite} instead of propagating silently.  [run] is
+    also a fault-injection site (["simulator"],
+    {!Magis_resilience.Fault}). *)
 
 open Magis_ir
 

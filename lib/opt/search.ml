@@ -21,13 +21,29 @@
     a parallel run returns bit-identical best states (and per-phase
     totals) to a serial one.  Evaluations are memoized in a
     {!Sim_cache} shared across domains — and, when the caller passes one
-    in, across searches. *)
+    in, across searches.
+
+    Resilience (see DESIGN.md §9): with [config.supervise] (the
+    default) a candidate whose evaluation raises is retried with
+    bounded backoff and, if it keeps failing, quarantined with a
+    structured {!Magis_analysis.Diagnostic} — the surviving candidates
+    of the batch are kept, where the legacy path re-raised and lost
+    them all.  [config.checkpoint] periodically (and on SIGINT/SIGTERM)
+    serializes the full frontier to a crash-safe file from which a
+    later run resumes bit-identically.  [config.degrade] steps search
+    effort down as the time budget nears exhaustion instead of letting
+    the final iterations overshoot it. *)
 
 open Magis_ir
 open Magis_cost
 open Magis_ftree
 open Magis_rules
 module Pool = Magis_par.Pool
+module Fault = Magis_resilience.Fault
+module Retry = Magis_resilience.Retry
+module Checkpoint = Magis_resilience.Checkpoint
+module Interrupt = Magis_resilience.Interrupt
+module Diagnostic = Magis_analysis.Diagnostic
 module Int_set = Util.Int_set
 
 type mode =
@@ -44,6 +60,11 @@ type ablation = {
 
 let default_ablation =
   { use_ftree_heuristic = true; restrict_sched_rules = true; max_level = 4 }
+
+(** Raised (never quarantined) when [verify_states] finds an invalid
+    accepted state: a verification failure is a bug in the optimizer,
+    not a runtime fault to be retried around. *)
+exception Verification_failure of string
 
 type stats = {
   mutable n_transform : int;
@@ -63,6 +84,12 @@ type stats = {
   mutable n_pruned_lb : int;
   mutable domain_time : float array;
       (** cumulative busy seconds per expansion worker *)
+  mutable n_retried : int;
+  mutable n_quarantined : int;
+  mutable n_checkpoints : int;
+  mutable degrade_steps : (float * string) list;
+      (** graceful-degradation ladder steps taken, in order: (elapsed
+          seconds, step name) *)
 }
 
 let fresh_stats () =
@@ -83,11 +110,17 @@ let fresh_stats () =
     t_bound = 0.0;
     n_pruned_lb = 0;
     domain_time = [||];
+    n_retried = 0;
+    n_quarantined = 0;
+    n_checkpoints = 0;
+    degrade_steps = [];
   }
 
 (** Fold a worker-local accumulator into the run totals.  Workers never
     write the shared record; the fold happens on the orchestrating
-    domain, in candidate order, so float sums are reproducible. *)
+    domain, in candidate order, so float sums are reproducible.  The
+    supervision counters (retries, quarantines, checkpoints, ladder
+    steps) belong to the orchestrator alone and are not folded. *)
 let merge_stats (dst : stats) (src : stats) =
   dst.n_transform <- dst.n_transform + src.n_transform;
   dst.t_transform <- dst.t_transform +. src.t_transform;
@@ -111,6 +144,12 @@ type result = {
   history : (float * int * float) list;
       (** (elapsed seconds, best peak bytes, best latency) after each
           improvement *)
+  diagnostics : Diagnostic.t list;
+      (** quarantine reports of the supervised expansion, oldest first
+          ([] in a fault-free run) *)
+  interrupted : bool;
+      (** true when the run was cut short by SIGINT/SIGTERM (the
+          checkpoint, if configured, was written before returning) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -151,6 +190,15 @@ end)
 (* Neighbor generation                                                 *)
 (* ------------------------------------------------------------------ *)
 
+type checkpoint = {
+  ckpt_path : string;  (** snapshot file, atomically replaced *)
+  ckpt_every : float;  (** seconds between periodic snapshots *)
+  ckpt_resume : bool;
+      (** restore from [ckpt_path] when a compatible snapshot exists
+          (a missing file silently starts fresh; an incompatible or
+          corrupt one raises {!Magis_resilience.Checkpoint.Incompatible}) *)
+}
+
 type config = {
   ablation : ablation;
   sched_states : int;  (** DP state budget per scheduling call *)
@@ -178,6 +226,20 @@ type config = {
           before rescheduling and simulation.  Trajectory-preserving:
           the returned best state is bit-identical with pruning on or
           off. *)
+  supervise : bool;
+      (** per-candidate exception isolation (default on): a failing
+          candidate is retried, then quarantined with a diagnostic,
+          and the rest of the batch survives.  Off = the all-or-nothing
+          legacy semantics where the first failure aborts the search. *)
+  max_retries : int;
+      (** bounded-backoff re-executions of a failed candidate before it
+          is quarantined *)
+  checkpoint : checkpoint option;  (** crash-safe snapshots; [None] = off *)
+  degrade : bool;
+      (** graceful-degradation ladder (default on): past 85% of
+          [time_budget] the DP budget steps down to a quarter, past 95%
+          bound probes are disabled, and exhaustion returns best-so-far
+          — each step recorded in [stats.degrade_steps] *)
 }
 
 let default_config =
@@ -193,6 +255,10 @@ let default_config =
     jobs = 1;
     sim_cache = None;
     prune_bounds = true;
+    supervise = true;
+    max_retries = 3;
+    checkpoint = None;
+    degrade = true;
   }
 
 let timed _stats fld_t fld_n f =
@@ -318,9 +384,8 @@ type bound_check =
   | Prune_mem of { threshold : float; mem_limit : int }
   | Prune_lat of { threshold : float; lat_limit : float }
 
-let bound_check_of (cfg : config) (mode : mode) (best : Mstate.t) :
-    bound_check =
-  if not cfg.prune_bounds then No_prune
+let bound_check_of ~prune (mode : mode) (best : Mstate.t) : bound_check =
+  if not prune then No_prune
   else
     let threshold = queue_delta *. fst (key mode best) in
     match mode with
@@ -340,21 +405,23 @@ let proposal_latency_lb (acc : Ftree.accounting) (g : Graph.t) : float =
     in the simulation cache.  [state_hash] is the proposal's dedup hash
     (WL ⊕ F-Tree fingerprint), already computed by the hash phase;
     [parent_sched_hash] digests the schedule being incrementally
-    rewritten.  Returns [None] when the bound probe prunes the
-    candidate: on a cache miss only, an admissible lower bound already
-    above the δ-relaxed incumbent threshold proves the evaluation could
-    neither improve the best state nor enter the queue.  Pruned
-    candidates touch neither the hit/miss counters nor the cache (a
-    later, tighter incumbent must not find a poisoned entry).  Runs on
-    a worker domain: it must only write [stats] (a worker-local
-    accumulator) and the domain-safe caches. *)
+    rewritten; [sched_states] is the effective DP budget (the config's,
+    unless the degradation ladder stepped it down).  Returns [None]
+    when the bound probe prunes the candidate: on a cache miss only, an
+    admissible lower bound already above the δ-relaxed incumbent
+    threshold proves the evaluation could neither improve the best
+    state nor enter the queue.  Pruned candidates touch neither the
+    hit/miss counters nor the cache (a later, tighter incumbent must
+    not find a poisoned entry).  Runs on a worker domain: it must only
+    write [stats] (a worker-local accumulator) and the domain-safe
+    caches. *)
 let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~bound_check
-    ~iteration ~state_hash ~parent_sched_hash (s : Mstate.t) (p : proposal) :
-    Mstate.t option =
+    ~sched_states ~iteration ~state_hash ~parent_sched_hash (s : Mstate.t)
+    (p : proposal) : Mstate.t option =
   let key =
     Sim_cache.key ~state:state_hash ~parent_sched:parent_sched_hash
       ~mutated:(Util.hash_int_list (Int_set.elements p.p_mutated))
-      ~sched_states:cfg.sched_states ~mode:ec.ec_mode ~hw:ec.ec_hw
+      ~sched_states ~mode:ec.ec_mode ~hw:ec.ec_hw
   in
   match Sim_cache.find ec.ec_sim key with
   | Some v ->
@@ -394,7 +461,7 @@ let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~bound_check
             (fun dt -> stats.t_sched <- stats.t_sched +. dt)
             (fun () -> stats.n_sched <- stats.n_sched + 1)
             (fun () ->
-              Magis_sched.Incremental.reschedule ~max_states:cfg.sched_states
+              Magis_sched.Incremental.reschedule ~max_states:sched_states
                 ~old_graph:s.graph ~new_graph:p.p_graph
                 ~old_schedule:s.schedule ~mutated_old:p.p_mutated
                 ~size_of:acc.size_of ())
@@ -408,21 +475,85 @@ let evaluate_proposal (cfg : config) (ec : eval_ctx) stats ~bound_check
                 p.p_ftree schedule)
         in
         if cfg.verify_states then begin
-          let what = Printf.sprintf "M-state (iteration %d)" iteration in
-          Magis_analysis.Hooks.assert_state ~what s'.graph s'.schedule;
-          Magis_analysis.Hooks.assert_bounds ~exact:false ~what
-            ~size_of:acc.size_of s'.graph ~peak:s'.peak_mem ();
-          let lat_lb = proposal_latency_lb acc p.p_graph in
-          if s'.latency < lat_lb then
-            failwith
-              (Printf.sprintf
-                 "%s violated the latency lower bound: simulated %.9f < \
-                  bound %.9f"
-                 what s'.latency lat_lb)
+          try
+            let what = Printf.sprintf "M-state (iteration %d)" iteration in
+            Magis_analysis.Hooks.assert_state ~what s'.graph s'.schedule;
+            Magis_analysis.Hooks.assert_bounds ~exact:false ~what
+              ~size_of:acc.size_of s'.graph ~peak:s'.peak_mem ();
+            let lat_lb = proposal_latency_lb acc p.p_graph in
+            if s'.latency < lat_lb then
+              failwith
+                (Printf.sprintf
+                   "%s violated the latency lower bound: simulated %.9f < \
+                    bound %.9f"
+                   what s'.latency lat_lb)
+          with Failure msg ->
+            (* never quarantined: an invalid accepted state is an
+               optimizer bug, not a transient runtime fault *)
+            raise (Verification_failure msg)
         end;
         Sim_cache.add ec.ec_sim key (Mstate.to_cached s');
         Some s'
       end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint format                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Bump whenever {!snapshot} (or anything it reaches: {!Mstate.t},
+    {!stats}, …) changes shape. *)
+let ckpt_version = 1
+
+(** The complete loop state: restoring it continues the search
+    bit-identically — frontier, dedup set, diversification RNG, pop
+    parity, accounting and the degradation level all survive. *)
+type snapshot = {
+  snap_best : Mstate.t;
+  snap_initial : Mstate.t;
+  snap_queue : Mstate.t list Pq.t;
+  snap_seen : (int64, unit) Hashtbl.t;
+  snap_rng : Random.State.t;
+  snap_pops : int;
+  snap_stats : stats;
+  snap_history : (float * int * float) list;  (** newest first *)
+  snap_diags : Diagnostic.t list;  (** newest first *)
+  snap_elapsed : float;
+  snap_degrade : int;
+}
+
+(** Digest of everything that must match for a snapshot to continue
+    this run's trajectory: the hardware model, the input graph, the
+    mode (with its limit) and every trajectory-relevant configuration
+    knob.  [jobs], caching and verification flags are excluded — they
+    are result-preserving by construction. *)
+let trajectory_fingerprint (cfg : config) (mode : mode) ~(hw : int64)
+    (graph : Graph.t) : int64 =
+  let bit b i = if b then 1 lsl i else 0 in
+  let flags =
+    bit cfg.ablation.use_ftree_heuristic 0
+    lor bit cfg.ablation.restrict_sched_rules 1
+    lor bit cfg.diversify_pops 2
+    lor bit cfg.use_sweep_rules 3
+    lor bit cfg.prune_bounds 4
+    lor bit cfg.degrade 5
+  in
+  let h = Util.hash_combine (Wl_hash.hash graph) hw in
+  let h = Util.hash_combine h (mode_fingerprint mode) in
+  let h = Util.hash_combine h (Int64.of_int cfg.sched_states) in
+  let h = Util.hash_combine h (Int64.of_int cfg.max_per_rule) in
+  let h = Util.hash_combine h (Int64.of_int cfg.ablation.max_level) in
+  Util.hash_combine h (Int64.of_int flags)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Budget fractions at which the ladder steps down: reduce the DP
+    scheduling budget, then stop paying for bound probes, then (at
+    exhaustion, by the loop condition) return best-so-far. *)
+let degrade_sched_frac = 0.85
+
+let degrade_bounds_frac = 0.95
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
@@ -441,8 +572,6 @@ let state_hash stats (s : Mstate.t) : int64 =
     the initial state, per-phase statistics and the improvement history. *)
 let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
     (graph : Graph.t) : result =
-  let stats = fresh_stats () in
-  let pool = Pool.create config.jobs in
   let ec =
     {
       ec_cache = cache;
@@ -454,33 +583,69 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
       ec_hw = Hardware.fingerprint cache.hw;
     }
   in
+  let fingerprint = trajectory_fingerprint config mode ~hw:ec.ec_hw graph in
+  let snap : snapshot option =
+    match config.checkpoint with
+    | Some { ckpt_path; ckpt_resume = true; _ }
+      when Checkpoint.exists ckpt_path ->
+        Some
+          (Checkpoint.load ~path:ckpt_path ~version:ckpt_version ~fingerprint)
+    | _ -> None
+  in
+  let stats =
+    match snap with Some s -> s.snap_stats | None -> fresh_stats ()
+  in
+  let pool = Pool.create config.jobs in
   Fun.protect ~finally:(fun () ->
       stats.domain_time <- Pool.busy_time pool;
       Pool.shutdown pool)
   @@ fun () ->
-  let t_start = Unix.gettimeofday () in
+  let t_start =
+    Unix.gettimeofday ()
+    -. (match snap with Some s -> s.snap_elapsed | None -> 0.0)
+  in
   let elapsed () = Unix.gettimeofday () -. t_start in
   let init =
-    let s = Mstate.init ~max_level:config.ablation.max_level
-        ~sched_states:config.sched_states cache graph
-    in
-    if config.ablation.use_ftree_heuristic then s
-    else { s with ftree = Ftree.construct_naive graph }
+    match snap with
+    | Some s -> s.snap_initial
+    | None ->
+        let s = Mstate.init ~max_level:config.ablation.max_level
+            ~sched_states:config.sched_states cache graph
+        in
+        if config.ablation.use_ftree_heuristic then s
+        else { s with ftree = Ftree.construct_naive graph }
   in
-  if config.verify_states then begin
+  if config.verify_states && snap = None then begin
     Magis_analysis.Hooks.assert_state ~what:"initial M-state" init.graph
       init.schedule;
     let acc = Ftree.accounting cache init.graph init.ftree in
     Magis_analysis.Hooks.assert_bounds ~what:"initial M-state"
       ~size_of:acc.size_of init.graph ~peak:init.peak_mem ()
   end;
-  let best = ref init in
-  let history = ref [ (elapsed (), init.peak_mem, init.latency) ] in
-  let seen = Hashtbl.create 1024 in
-  Hashtbl.replace seen (state_hash stats init) ();
-  let q = ref (Pq.singleton (key mode init) [ init ]) in
-  let rng = Random.State.make [| 0x4d41 |] in
-  let pops = ref 0 in
+  let best = ref (match snap with Some s -> s.snap_best | None -> init) in
+  let history =
+    ref
+      (match snap with
+      | Some s -> s.snap_history
+      | None -> [ (elapsed (), init.peak_mem, init.latency) ])
+  in
+  let diags = ref (match snap with Some s -> s.snap_diags | None -> []) in
+  let seen =
+    match snap with Some s -> s.snap_seen | None -> Hashtbl.create 1024
+  in
+  let q =
+    ref
+      (match snap with
+      | Some s -> s.snap_queue
+      | None -> Pq.singleton (key mode init) [ init ])
+  in
+  let rng =
+    match snap with
+    | Some s -> s.snap_rng
+    | None -> Random.State.make [| 0x4d41 |]
+  in
+  let pops = ref (match snap with Some s -> s.snap_pops | None -> 0) in
+  if snap = None then Hashtbl.replace seen (state_hash stats init) ();
   let take k l =
     match l with
     | [ s ] ->
@@ -518,13 +683,130 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
       | None -> None
       | Some (k, l) -> take k l
   in
-  let push s = q := Pq.update (key mode s) (function
-      | None -> Some [ s ]
-      | Some l -> Some (s :: l)) !q
+  let push s =
+    q :=
+      Pq.update (key mode s)
+        (function None -> Some [ s ] | Some l -> Some (s :: l))
+        !q
   in
-  (try
-     while elapsed () < config.time_budget
-           && stats.iterations < config.max_iterations do
+  (* -------------------------------------------------------------- *)
+  (* Graceful-degradation ladder                                     *)
+  (* -------------------------------------------------------------- *)
+  let degrade_level =
+    ref (match snap with Some s -> s.snap_degrade | None -> 0)
+  in
+  let record_step name =
+    stats.degrade_steps <- stats.degrade_steps @ [ (elapsed (), name) ]
+  in
+  let update_ladder () =
+    if config.degrade then begin
+      let frac = elapsed () /. config.time_budget in
+      if !degrade_level < 1 && frac >= degrade_sched_frac then begin
+        degrade_level := 1;
+        record_step "reduce-sched-states"
+      end;
+      if !degrade_level < 2 && frac >= degrade_bounds_frac then begin
+        degrade_level := 2;
+        record_step "disable-bound-probes"
+      end
+    end
+  in
+  let eff_sched_states () =
+    if !degrade_level >= 1 then config.sched_states / 4
+    else config.sched_states
+  in
+  let eff_prune () = config.prune_bounds && !degrade_level < 2 in
+  (* -------------------------------------------------------------- *)
+  (* Checkpointing                                                   *)
+  (* -------------------------------------------------------------- *)
+  let last_ckpt = ref (elapsed ()) in
+  let write_checkpoint () =
+    match config.checkpoint with
+    | None -> ()
+    | Some { ckpt_path; _ } ->
+        Checkpoint.save ~path:ckpt_path ~version:ckpt_version ~fingerprint
+          {
+            snap_best = !best;
+            snap_initial = init;
+            snap_queue = !q;
+            snap_seen = seen;
+            snap_rng = rng;
+            snap_pops = !pops;
+            snap_stats = stats;
+            snap_history = !history;
+            snap_diags = !diags;
+            snap_elapsed = elapsed ();
+            snap_degrade = !degrade_level;
+          };
+        stats.n_checkpoints <- stats.n_checkpoints + 1;
+        last_ckpt := elapsed ()
+  in
+  (* -------------------------------------------------------------- *)
+  (* Supervision                                                     *)
+  (* -------------------------------------------------------------- *)
+  let fatal = function
+    | Verification_failure _ -> true
+    | e -> Retry.fatal e
+  in
+  let quarantine ~phase ~index (f : Retry.failure) =
+    stats.n_quarantined <- stats.n_quarantined + 1;
+    let check =
+      match f.exn with
+      | Fault.Injected _ -> "injected-fault"
+      | Op_cost.Non_finite _ -> "nonfinite-cost"
+      | _ -> "worker-exception"
+    in
+    let bt = Printexc.raw_backtrace_to_string f.backtrace in
+    let d =
+      Diagnostic.errorf ~pass:"resilience" ~check
+        "iteration %d: %s candidate %d quarantined after %d execution(s): %s%s"
+        stats.iterations phase index f.attempts
+        (Printexc.to_string f.exn)
+        (if bt = "" then "" else "\n" ^ String.trim bt)
+    in
+    diags := d :: !diags
+  in
+  (* Run one expansion phase over the pool.  Supervised mode isolates
+     per-candidate failures: a failed task is retried with bounded
+     backoff on the orchestrating domain (a transient fault passes on
+     re-execution) and a persistently failing candidate is quarantined
+     with a structured diagnostic — the survivors of the batch are
+     kept.  The legacy mode re-raises the first failure, aborting the
+     batch. *)
+  let supervised_map ~phase f xs =
+    if not config.supervise then Array.map Option.some (Pool.map pool f xs)
+    else
+      Array.mapi
+        (fun index r ->
+          match r with
+          | Ok v -> Some v
+          | Error (e, bt) when fatal e -> Printexc.raise_with_backtrace e bt
+          | Error _ -> (
+              stats.n_retried <- stats.n_retried + 1;
+              let policy =
+                { Retry.default with attempts = config.max_retries }
+              in
+              match Retry.run ~policy (fun () -> f xs.(index)) with
+              | Ok v -> Some v
+              | Error failure ->
+                  quarantine ~phase ~index failure;
+                  None))
+        (Pool.map_result pool f xs)
+  in
+  let interrupted = ref false in
+  let loop () =
+    try
+      while elapsed () < config.time_budget
+            && stats.iterations < config.max_iterations do
+       if Interrupt.requested () then begin
+         interrupted := true;
+         raise Exit
+       end;
+       update_ladder ();
+       (match config.checkpoint with
+       | Some { ckpt_every; _ } when elapsed () -. !last_ckpt >= ckpt_every ->
+           write_checkpoint ()
+       | _ -> ());
        match pop () with
        | None -> raise Exit
        | Some s ->
@@ -558,7 +840,7 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
               Hash test FIRST: duplicate graphs skip scheduling and
               simulation entirely (the Fig. 15 "Filtered" column). *)
            let hashed =
-             Pool.map pool
+             supervised_map ~phase:"hash"
                (fun (p : proposal) ->
                  let t0 = Unix.gettimeofday () in
                  let h =
@@ -569,24 +851,28 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
                proposals
            in
            Array.iter
-             (fun (_, _, dt) ->
-               stats.t_hash <- stats.t_hash +. dt;
-               stats.n_hash <- stats.n_hash + 1)
+             (function
+               | None -> ()
+               | Some (_, _, dt) ->
+                   stats.t_hash <- stats.t_hash +. dt;
+                   stats.n_hash <- stats.n_hash + 1)
              hashed;
            (* Phase 2 (serial, candidate order): dedup against every
               state seen so far.  First occurrence wins, exactly as in a
               serial run. *)
            let survivors =
              Array.to_list hashed
-             |> List.filter_map (fun ((p : proposal), h, _) ->
-                    if Hashtbl.mem seen h then begin
-                      stats.n_filtered <- stats.n_filtered + 1;
-                      None
-                    end
-                    else begin
-                      Hashtbl.replace seen h ();
-                      Some (p, h)
-                    end)
+             |> List.filter_map (function
+                  | None -> None (* quarantined in the hash phase *)
+                  | Some ((p : proposal), h, _) ->
+                      if Hashtbl.mem seen h then begin
+                        stats.n_filtered <- stats.n_filtered + 1;
+                        None
+                      end
+                      else begin
+                        Hashtbl.replace seen h ();
+                        Some (p, h)
+                      end)
              |> Array.of_list
            in
            (* Phase 3 (parallel): reschedule + simulate the survivors.
@@ -598,37 +884,60 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
               scheduling. *)
            let parent_sched_hash = Util.hash_int_list s.schedule in
            let iteration = stats.iterations in
-           let bound_check = bound_check_of config mode !best in
+           let sched_states = eff_sched_states () in
+           let bound_check =
+             bound_check_of ~prune:(eff_prune ()) mode !best
+           in
            let evaluated =
-             Pool.map pool
+             supervised_map ~phase:"evaluate"
                (fun ((p : proposal), h) ->
                  let local = fresh_stats () in
                  let s' =
-                   evaluate_proposal config ec local ~bound_check ~iteration
-                     ~state_hash:h ~parent_sched_hash s p
+                   evaluate_proposal config ec local ~bound_check
+                     ~sched_states ~iteration ~state_hash:h
+                     ~parent_sched_hash s p
                  in
                  (s', local))
                survivors
            in
            (* Phase 4 (serial, candidate order): fold worker stats and
-              merge into best/queue — bit-identical to the serial loop. *)
+              merge into best/queue — bit-identical to the serial loop.
+              Quarantined candidates contribute nothing. *)
            Array.iter
-             (fun ((s' : Mstate.t option), local) ->
-               merge_stats stats local;
-               match s' with
+             (function
                | None -> ()
-               | Some s' ->
-                   if better_than mode s' !best then begin
-                     best := s';
-                     history :=
-                       (elapsed (), s'.peak_mem, s'.latency) :: !history
-                   end;
-                   if better_than mode ~delta:queue_delta s' !best then
-                     push s')
+               | Some ((s' : Mstate.t option), local) -> (
+                   merge_stats stats local;
+                   match s' with
+                   | None -> ()
+                   | Some s' ->
+                       if better_than mode s' !best then begin
+                         best := s';
+                         history :=
+                           (elapsed (), s'.peak_mem, s'.latency) :: !history
+                       end;
+                       if better_than mode ~delta:queue_delta s' !best then
+                         push s'))
              evaluated
-     done
-   with Exit -> ());
-  { best = !best; initial = init; stats; history = List.rev !history }
+      done
+    with Exit -> ()
+  in
+  (* signal handlers are installed only when the run can do something
+     useful with an interrupt: write its checkpoint and return early *)
+  (match config.checkpoint with
+  | None -> loop ()
+  | Some _ -> Interrupt.with_guard loop);
+  if config.degrade && (not !interrupted) && elapsed () >= config.time_budget
+  then record_step "best-so-far";
+  write_checkpoint ();
+  {
+    best = !best;
+    initial = init;
+    stats;
+    history = List.rev !history;
+    diagnostics = List.rev !diags;
+    interrupted = !interrupted;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Convenience wrappers                                                *)

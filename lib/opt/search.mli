@@ -1,6 +1,10 @@
 (** Top-level search (Algorithm 3): best-first exploration of M-States
     with BetterThan ordering, WL-hash deduplication, F-Tree refresh and
-    incremental scheduling after every transformation. *)
+    incremental scheduling after every transformation.
+
+    Resilience (DESIGN.md §9): supervised candidate expansion with
+    quarantine and bounded retry, crash-safe checkpoint/resume, and a
+    graceful-degradation ladder near time-budget exhaustion. *)
 
 open Magis_ir
 open Magis_cost
@@ -18,6 +22,11 @@ type ablation = {
 }
 
 val default_ablation : ablation
+
+(** Raised when [verify_states] finds an invalid accepted state.  Never
+    retried or quarantined by the supervised expansion: a verification
+    failure is an optimizer bug, not a runtime fault. *)
+exception Verification_failure of string
 
 type stats = {
   mutable n_transform : int;
@@ -42,6 +51,17 @@ type stats = {
   mutable domain_time : float array;
       (** cumulative busy seconds per expansion worker ([jobs] cells;
           one cell for a serial run) *)
+  mutable n_retried : int;
+      (** candidates whose first execution failed and were re-executed
+          by the supervisor *)
+  mutable n_quarantined : int;
+      (** candidates dropped after exhausting their retries; each one
+          has a diagnostic in [result.diagnostics] *)
+  mutable n_checkpoints : int;  (** snapshots written this run *)
+  mutable degrade_steps : (float * string) list;
+      (** graceful-degradation ladder steps taken, in order: (elapsed
+          seconds, step name) — ["reduce-sched-states"],
+          ["disable-bound-probes"], ["best-so-far"] *)
 }
 
 type result = {
@@ -50,6 +70,27 @@ type result = {
   stats : stats;
   history : (float * int * float) list;
       (** (elapsed seconds, peak bytes, latency) after each improvement *)
+  diagnostics : Magis_analysis.Diagnostic.t list;
+      (** quarantine reports from the supervised expansion, oldest
+          first ([] in a fault-free run); pass ["resilience"], checks
+          ["injected-fault"], ["nonfinite-cost"], ["worker-exception"] *)
+  interrupted : bool;
+      (** true when the run was cut short by SIGINT/SIGTERM (the
+          checkpoint, if configured, was written before returning) *)
+}
+
+(** Crash-safe snapshot configuration. *)
+type checkpoint = {
+  ckpt_path : string;  (** snapshot file, atomically replaced *)
+  ckpt_every : float;  (** seconds between periodic snapshots *)
+  ckpt_resume : bool;
+      (** restore from [ckpt_path] when a compatible snapshot exists.
+          A missing file silently starts fresh; a corrupt file or one
+          written by a different workload/hardware/configuration raises
+          {!Magis_resilience.Checkpoint.Incompatible}.  A resumed
+          search continues bit-identically: running N iterations,
+          checkpointing and resuming for M more returns the same best
+          state as an uninterrupted (N+M)-iteration run. *)
 }
 
 type config = {
@@ -68,8 +109,8 @@ type config = {
           additionally assert the bound invariant
           [Membound.lower <= simulated peak <= Membound.ub_total] (plus
           the latency floor) via {!Magis_analysis.Hooks.assert_bounds},
-          raising [Failure] on the first violation (tests/CI on,
-          benchmarks off) *)
+          raising {!Verification_failure} on the first violation
+          (tests/CI on, benchmarks off) *)
   jobs : int;
       (** worker domains for the per-iteration candidate expansion;
           1 (the default) spawns no domains — the exact legacy serial
@@ -91,6 +132,34 @@ type config = {
           the threshold uses the same δ as the push test,
           pruning never changes the returned best state — only
           [n_pruned_lb]/[n_bound_calls] and the time spent. *)
+  supervise : bool;
+      (** per-candidate exception isolation (default [true]): a failing
+          candidate is re-executed up to [max_retries] times with
+          bounded backoff on the orchestrating domain, then quarantined
+          with a structured diagnostic — the surviving candidates of
+          the batch are kept.  Fatal exceptions (out-of-memory,
+          {!Verification_failure}, …) always re-raise immediately.
+          [false] restores the all-or-nothing legacy semantics where
+          the first worker failure aborts the whole search.  Retries
+          run serially at the merge, so supervision preserves the
+          bit-identical-across-[jobs] guarantee. *)
+  max_retries : int;
+      (** bounded-backoff re-executions of a failed candidate before it
+          is quarantined (default 3) *)
+  checkpoint : checkpoint option;
+      (** crash-safe snapshots: written every [ckpt_every] seconds, on
+          SIGINT/SIGTERM (the run then returns early with
+          [interrupted = true]) and once at normal exit.  [None]
+          (the default) = off; signal handlers are only installed when
+          set. *)
+  degrade : bool;
+      (** graceful-degradation ladder (default [true]): past 85% of
+          [time_budget] the DP scheduling budget steps down to a
+          quarter, past 95% bound probes are disabled, and budget
+          exhaustion returns best-so-far — each step recorded in
+          [stats.degrade_steps].  Runs with effectively unlimited
+          budgets never reach the thresholds, so determinism tests are
+          unaffected. *)
 }
 
 val default_config : config

@@ -8,6 +8,18 @@
     the counter update under the mutex makes those writes visible to the
     caller when the batch count reaches zero. *)
 
+module Fault = Magis_resilience.Fault
+
+exception Task_error of { index : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { index; exn } ->
+        Some
+          (Printf.sprintf "Magis_par.Pool.Task_error(task %d: %s)" index
+             (Printexc.to_string exn))
+    | _ -> None)
+
 type shared = {
   lock : Mutex.t;
   work : Condition.t;  (** queue non-empty, or shutting down *)
@@ -68,22 +80,23 @@ let busy_time = function
       Mutex.unlock shared.lock;
       b
 
-(** First failure by input index, re-raised after the whole batch has
-    drained so no task can outlive the [map] call. *)
-let reraise_first (results : ('b, exn) result option array) : unit =
-  Array.iter
-    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
-    results
+(** Run one task body under the injector's worker site; failures carry
+    their backtrace out of the worker so the caller can re-raise or
+    report with the original trace intact. *)
+let run_task f x =
+  try
+    Fault.hit "pool_worker";
+    Ok (f x)
+  with e -> Error (e, Printexc.get_raw_backtrace ())
 
-let extract results =
-  reraise_first results;
+let unwrap results =
   Array.map
     (function
-      | Some (Ok v) -> v
-      | Some (Error _) | None -> assert false (* reraise_first / batch done *))
+      | Some r -> r
+      | None -> assert false (* the batch counter reached zero *))
     results
 
-let map t f xs =
+let map_result t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else
@@ -92,7 +105,7 @@ let map t f xs =
         Array.map
           (fun x ->
             let t0 = Unix.gettimeofday () in
-            let r = f x in
+            let r = run_task f x in
             busy.(0) <- busy.(0) +. (Unix.gettimeofday () -. t0);
             r)
           xs
@@ -103,7 +116,7 @@ let map t f xs =
         let remaining = ref n in
         let job i widx =
           let t0 = Unix.gettimeofday () in
-          let r = try Ok (f xs.(i)) with e -> Error e in
+          let r = run_task f xs.(i) in
           let dt = Unix.gettimeofday () -. t0 in
           Mutex.lock sh.lock;
           sh.busy.(widx) <- sh.busy.(widx) +. dt;
@@ -121,7 +134,21 @@ let map t f xs =
           Condition.wait sh.batch_done sh.lock
         done;
         Mutex.unlock sh.lock;
-        extract results
+        unwrap results
+
+let map t f xs =
+  let results = map_result t f xs in
+  (* first failure by input index wins, wrapped in {!Task_error} with
+     that index and re-raised with the worker's backtrace — after the
+     whole batch has drained, so no task outlives the [map] call *)
+  Array.iteri
+    (fun index r ->
+      match r with
+      | Error (exn, bt) ->
+          Printexc.raise_with_backtrace (Task_error { index; exn }) bt
+      | Ok _ -> ())
+    results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
 
 let shutdown = function
   | Inline _ -> ()

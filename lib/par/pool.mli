@@ -12,6 +12,11 @@
 
 type t
 
+(** Raised by {!map} when a task failed: carries the index of the
+    failing input and the task's exception.  The re-raise preserves the
+    worker's backtrace. *)
+exception Task_error of { index : int; exn : exn }
+
 (** [create n] starts a pool of [n] worker domains ([n <= 1] → inline
     execution, no domains). *)
 val create : int -> t
@@ -21,10 +26,22 @@ val size : t -> int
 
 (** [map pool f xs] applies [f] to every element of [xs], possibly in
     parallel, and returns the results in input order.  If one or more
-    applications raise, all tasks are still drained and the exception of
-    the lowest-indexed failing element is re-raised.  Must not be called
-    after {!shutdown}, nor from inside a task of the same pool. *)
+    applications raise, all tasks are still drained and the failure of
+    the lowest-indexed failing element is re-raised as {!Task_error}
+    with the worker's backtrace.  Must not be called after {!shutdown},
+    nor from inside a task of the same pool. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Like {!map}, but failures are isolated per input instead of
+    aborting the batch: element [i] of the result is [Error (e, bt)]
+    when [f xs.(i)] raised [e] at backtrace [bt], and every other
+    element is computed normally.  The supervised search builds its
+    quarantine/retry logic on this. *)
+val map_result :
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
 
 (** Cumulative seconds each worker has spent executing tasks, one cell
     per worker.  For an inline pool this is the single-cell task time of

@@ -1,0 +1,42 @@
+(** Cooperative signal flag (see the interface). *)
+
+(* 0 = no signal pending; otherwise the OCaml signal number *)
+let pending = Atomic.make 0
+
+(* last signal a guard ever saw; survives the guard so a caller can
+   still name the signal after the guarded region returned *)
+let last = Atomic.make 0
+
+let requested () = Atomic.get pending <> 0
+
+let signal_name () =
+  match Atomic.get last with
+  | 0 -> None
+  | s when s = Sys.sigint -> Some "SIGINT"
+  | s when s = Sys.sigterm -> Some "SIGTERM"
+  | s -> Some (Printf.sprintf "signal %d" s)
+
+let with_guard f =
+  let install s =
+    try
+      Some
+        (Sys.signal s
+           (Sys.Signal_handle
+              (fun _ ->
+                Atomic.set last s;
+                Atomic.set pending s)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore s = function
+    | None -> ()
+    | Some behavior -> ( try Sys.set_signal s behavior with _ -> ())
+  in
+  Atomic.set pending 0;
+  let prev_int = install Sys.sigint in
+  let prev_term = install Sys.sigterm in
+  Fun.protect
+    ~finally:(fun () ->
+      restore Sys.sigint prev_int;
+      restore Sys.sigterm prev_term;
+      Atomic.set pending 0)
+    f

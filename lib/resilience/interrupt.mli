@@ -1,0 +1,24 @@
+(** Cooperative SIGINT/SIGTERM handling.
+
+    Long-running searches must not lose their explored frontier to a
+    ctrl-C or an orchestrator's TERM: {!with_guard} installs handlers
+    that only record the signal, the search loop polls {!requested} at
+    iteration boundaries, writes its checkpoint and returns best-so-far.
+    The previous signal dispositions are restored on exit, so guarding a
+    search never changes the behaviour of the embedding process outside
+    the guarded region. *)
+
+(** Run [f] with SIGINT and SIGTERM redirected to a flag readable
+    through {!requested}.  Restores the previous handlers and clears the
+    flag afterwards, even when [f] raises.  On platforms without these
+    signals the function is just [f ()]. *)
+val with_guard : (unit -> 'a) -> 'a
+
+(** Has a guarded signal arrived since {!with_guard} started? *)
+val requested : unit -> bool
+
+(** Name of the most recent guarded signal (["SIGINT"] / ["SIGTERM"]),
+    if any ever arrived.  Unlike {!requested}, this survives the end of
+    the guarded region, so a caller can still name the signal after the
+    interrupted computation returned. *)
+val signal_name : unit -> string option

@@ -1,0 +1,36 @@
+(** Bounded retry with exponential backoff (see the interface). *)
+
+type policy = { attempts : int; base_delay : float; multiplier : float }
+
+let default = { attempts = 3; base_delay = 0.001; multiplier = 4.0 }
+
+let fatal = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ | Sys.Break -> true
+  | _ -> false
+
+type failure = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;
+}
+
+let run ?(policy = default) f =
+  (* [execution] counts runs of [f], the initial one included *)
+  let rec go execution =
+    match f () with
+    | v -> Ok v
+    | exception e when fatal e ->
+        Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
+    | exception e ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        if execution > policy.attempts then
+          Error { exn = e; backtrace; attempts = execution }
+        else begin
+          if policy.base_delay > 0.0 then
+            Unix.sleepf
+              (policy.base_delay
+              *. (policy.multiplier ** float_of_int (execution - 1)));
+          go (execution + 1)
+        end
+  in
+  go 1

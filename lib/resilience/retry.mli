@@ -1,0 +1,32 @@
+(** Bounded retry with exponential backoff.
+
+    The supervised search retries a failed candidate evaluation a few
+    times before quarantining it: transient faults (an injected fault
+    keyed to one visit, a hiccup of the environment) pass on re-run,
+    persistent ones exhaust the budget and surface as a structured
+    failure the caller can report without aborting the batch. *)
+
+type policy = {
+  attempts : int;  (** maximum re-executions after the first failure *)
+  base_delay : float;  (** seconds before the first retry *)
+  multiplier : float;  (** backoff factor between consecutive retries *)
+}
+
+(** 3 attempts, 1 ms initial backoff, x4 per retry (≤ ~21 ms total). *)
+val default : policy
+
+(** Exceptions retrying cannot help and must never swallow: resource
+    exhaustion, assertion failures, and user interrupts. *)
+val fatal : exn -> bool
+
+type failure = {
+  exn : exn;  (** the last exception *)
+  backtrace : Printexc.raw_backtrace;  (** of the last failure *)
+  attempts : int;  (** executions performed, including the first *)
+}
+
+(** [run ~policy f] executes [f] until it returns, retrying with
+    backoff up to [policy.attempts] times after the first failure.
+    Returns the last failure when the budget is exhausted; re-raises
+    {!fatal} exceptions immediately with their backtrace. *)
+val run : ?policy:policy -> (unit -> 'a) -> ('a, failure) result

@@ -27,6 +27,7 @@ let () =
       ("outcome", Test_outcome.suite);
       ("search", Test_search.suite);
       ("par", Test_par.suite);
+      ("resilience", Test_resilience.suite);
       ("properties", Test_props.suite);
       ("codegen", Test_codegen.suite);
       ("parser", Test_parser.suite);

@@ -44,7 +44,8 @@ let test_pool_exception_lowest_index () =
   let pool = Pool.create 3 in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   Alcotest.check_raises "lowest-indexed failure is re-raised"
-    (Failure "boom2") (fun () ->
+    (Pool.Task_error { index = 2; exn = Failure "boom2" })
+    (fun () ->
       ignore
         (Pool.map pool
            (fun i -> if i >= 2 then failwith (Printf.sprintf "boom%d" i))
@@ -52,6 +53,39 @@ let test_pool_exception_lowest_index () =
   (* the pool stays usable after a failing batch *)
   Alcotest.(check (array int)) "pool usable after failure" [| 2; 3 |]
     (Pool.map pool succ [| 1; 2 |])
+
+let test_pool_map_result_isolates () =
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let rs =
+    Pool.map_result pool
+      (fun i -> if i mod 2 = 1 then failwith (string_of_int i) else i * 10)
+      [| 0; 1; 2; 3; 4 |]
+  in
+  Array.iteri
+    (fun i r ->
+      match (i mod 2, r) with
+      | 0, Ok v -> Alcotest.(check int) "survivor value" (i * 10) v
+      | 1, Error (Failure msg, _) ->
+          Alcotest.(check string) "failure carries its own input"
+            (string_of_int i) msg
+      | _, Ok _ -> Alcotest.failf "task %d should have failed" i
+      | _, Error _ -> Alcotest.failf "task %d failed or raised wrongly" i)
+    rs;
+  (* inline pools isolate identically *)
+  let inline = Pool.create 1 in
+  let rs1 =
+    Pool.map_result inline
+      (fun i -> if i = 0 then raise Not_found else i)
+      [| 0; 7 |]
+  in
+  (match rs1.(0) with
+  | Error (Not_found, _) -> ()
+  | _ -> Alcotest.fail "inline failure not captured");
+  (match rs1.(1) with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "inline survivor lost");
+  Pool.shutdown inline
 
 (* ------------------------------------------------------------------ *)
 (* Striped table                                                       *)
@@ -274,6 +308,7 @@ let suite =
     tc "pool inline path" test_pool_inline;
     tc "pool reuse and empty batches" test_pool_reuse_and_empty;
     tc "pool re-raises lowest-index failure" test_pool_exception_lowest_index;
+    tc "pool map_result isolates failures" test_pool_map_result_isolates;
     tc "striped table basics" test_striped_basic;
     tc "striped table concurrent writers" test_striped_concurrent_writers;
     tc "striped table colliding-key stress" test_striped_colliding_stress;

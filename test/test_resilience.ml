@@ -1,0 +1,405 @@
+(** Resilience: fault-injector mechanics, bounded retry, crash-safe
+    checkpoints — and the chaos guarantees of the supervised search:
+    transient injected faults leave the result bit-identical, persistent
+    ones are quarantined with diagnostics, budget exhaustion returns
+    best-so-far, and a SIGTERM'd search resumes from its checkpoint. *)
+
+open Magis
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Fault injector                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_injector () =
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  Fault.arm [ { Fault.site = "s"; at = 2; kind = Fault.Exception } ];
+  Fault.hit "s";
+  Alcotest.check_raises "second visit fires"
+    (Fault.Injected ("s", 2))
+    (fun () -> Fault.hit "s");
+  (* the trigger count is consumed: the site is clean again *)
+  Fault.hit "s";
+  Alcotest.(check int) "visits counted" 3 (Fault.visits "s");
+  Alcotest.(check int) "one fault fired" 1 (List.length (Fault.fired ()));
+  Fault.arm [ { Fault.site = "c"; at = 1; kind = Fault.Nan_cost } ];
+  Alcotest.(check bool) "cost corrupted to nan" true
+    (Float.is_nan (Fault.cost "c" 1.0));
+  Alcotest.(check (float 0.0)) "next cost clean" 1.0 (Fault.cost "c" 1.0);
+  Fault.disarm ();
+  Alcotest.(check int) "disarmed counts nothing" 0 (Fault.visits "c");
+  (* disarmed sites are free *)
+  Fault.hit "s";
+  Alcotest.(check (float 0.0)) "disarmed cost is identity" 2.5
+    (Fault.cost "c" 2.5)
+
+let test_fault_seeded_and_burst () =
+  let pairs = [ ("a", Fault.Exception); ("b", Fault.Nan_cost) ] in
+  let p1 = Fault.seeded ~seed:9 ~lo:10 ~hi:50 pairs in
+  let p2 = Fault.seeded ~seed:9 ~lo:10 ~hi:50 pairs in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check int) "one spec per pair" 2 (List.length p1);
+  List.iter
+    (fun (s : Fault.spec) ->
+      if s.at < 10 || s.at >= 50 then
+        Alcotest.failf "site %s planted outside [10, 50): %d" s.site s.at)
+    p1;
+  Alcotest.(check bool) "different seed, different plan" true
+    (p1 <> Fault.seeded ~seed:10 ~lo:10 ~hi:50 pairs);
+  let b = Fault.burst ~site:"x" ~at:7 ~len:3 Fault.Exception in
+  Alcotest.(check (list int)) "burst covers consecutive visits" [ 7; 8; 9 ]
+    (List.map (fun (s : Fault.spec) -> s.at) b)
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fast = { Retry.attempts = 3; base_delay = 0.0; multiplier = 1.0 }
+
+let test_retry_transient () =
+  let n = ref 0 in
+  match
+    Retry.run ~policy:fast (fun () ->
+        incr n;
+        if !n < 3 then failwith "flaky";
+        !n)
+  with
+  | Ok v -> Alcotest.(check int) "succeeded on third execution" 3 v
+  | Error _ -> Alcotest.fail "transient failure must be retried through"
+
+let test_retry_exhausted () =
+  let n = ref 0 in
+  match
+    Retry.run
+      ~policy:{ fast with attempts = 2 }
+      (fun () ->
+        incr n;
+        failwith "down")
+  with
+  | Ok _ -> Alcotest.fail "persistent failure cannot succeed"
+  | Error f ->
+      Alcotest.(check int) "executions = 1 + attempts" 3 f.attempts;
+      Alcotest.(check int) "function ran that many times" 3 !n;
+      (match f.exn with
+      | Failure msg -> Alcotest.(check string) "last exception kept" "down" msg
+      | e -> Alcotest.failf "wrong exception kept: %s" (Printexc.to_string e))
+
+let test_retry_fatal_reraises () =
+  let n = ref 0 in
+  (try
+     ignore
+       (Retry.run ~policy:fast (fun () ->
+            incr n;
+            raise (Assert_failure ("never retry me", 0, 0))));
+     Alcotest.fail "fatal exception must escape"
+   with Assert_failure _ -> ());
+  Alcotest.(check int) "fatal ran exactly once" 1 !n
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint files                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "magis_test" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () -> f path
+
+let expect_incompatible what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: load must raise Incompatible" what
+  | exception Checkpoint.Incompatible _ -> ()
+
+let test_checkpoint_roundtrip () =
+  with_temp_file @@ fun path ->
+  let payload = List.init 100 string_of_int in
+  Checkpoint.save ~path ~version:3 ~fingerprint:42L payload;
+  Alcotest.(check bool) "exists" true (Checkpoint.exists path);
+  let restored : string list =
+    Checkpoint.load ~path ~version:3 ~fingerprint:42L
+  in
+  Alcotest.(check (list string)) "payload round-trips" payload restored;
+  expect_incompatible "version mismatch" (fun () ->
+      (Checkpoint.load ~path ~version:4 ~fingerprint:42L : string list));
+  expect_incompatible "fingerprint mismatch" (fun () ->
+      (Checkpoint.load ~path ~version:3 ~fingerprint:43L : string list));
+  expect_incompatible "missing file" (fun () ->
+      (Checkpoint.load ~path:(path ^ ".nope") ~version:3 ~fingerprint:42L
+        : string list))
+
+let test_checkpoint_detects_corruption () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save ~path ~version:1 ~fingerprint:7L [| 1.5; 2.5; 3.5 |];
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = Bytes.create len in
+  really_input ic bytes 0 len;
+  close_in ic;
+  (* flip a bit in the payload's last byte: the digest must catch it *)
+  Bytes.set bytes (len - 1)
+    (Char.chr (Char.code (Bytes.get bytes (len - 1)) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  expect_incompatible "corrupted payload" (fun () ->
+      (Checkpoint.load ~path ~version:1 ~fingerprint:7L : float array));
+  (* truncation is detected too *)
+  let oc = open_out_bin path in
+  output_bytes oc (Bytes.sub bytes 0 (len - 4));
+  close_out oc;
+  expect_incompatible "truncated file" (fun () ->
+      (Checkpoint.load ~path ~version:1 ~fingerprint:7L : float array))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the supervised search under injected faults                  *)
+(* ------------------------------------------------------------------ *)
+
+let randnet ?(cells = 1) seed =
+  Randnet.build
+    ~cfg:
+      { Randnet.cells; nodes_per_cell = 4; channels = 8; image = 8; batch = 2;
+        seed }
+    ()
+
+let run_with ?(max_iterations = 8) ?(cfg = fun c -> c) ~jobs g =
+  let config =
+    cfg
+      { Search.default_config with max_iterations; time_budget = 1e9; jobs }
+  in
+  Search.optimize_memory ~config (cache ()) ~overhead:0.10 g
+
+let check_same_best what (r1 : Search.result) (r2 : Search.result) =
+  Alcotest.(check int)
+    (what ^ ": identical peak memory")
+    r1.best.peak_mem r2.best.peak_mem;
+  Alcotest.(check (float 0.0))
+    (what ^ ": identical latency")
+    r1.best.latency r2.best.latency;
+  Alcotest.(check (list int))
+    (what ^ ": identical schedule")
+    r1.best.schedule r2.best.schedule
+
+(** One planted transient fault per site: the supervisor's retry must
+    absorb it and reproduce the fault-free search exactly — same best,
+    same iteration count, nothing quarantined — at any jobs count. *)
+let test_chaos_transient_identity () =
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let g = randnet 5 in
+  Fault.observe ();
+  let clean = run_with ~jobs:1 g in
+  let visits = List.map (fun s -> (s, Fault.visits s)) Fault.sites in
+  Fault.disarm ();
+  Alcotest.(check (list string)) "fault-free run has no diagnostics" []
+    (List.map Diagnostic.to_string clean.diagnostics);
+  List.iter
+    (fun (site, v) ->
+      (* skip the early visits: the baseline simulation and initial
+         M-state run outside the supervised expansion *)
+      let lo = max 4 (v / 3) and hi = max 5 (2 * v / 3) in
+      let kinds =
+        [ ("exception", Fault.Exception) ]
+        @ (if site = "op_cost" then [ ("nan", Fault.Nan_cost) ] else [])
+      in
+      List.iter
+        (fun (kname, kind) ->
+          List.iter
+            (fun jobs ->
+              let what = Printf.sprintf "%s@%s jobs=%d" kname site jobs in
+              Fault.arm (Fault.seeded ~seed:5 ~lo ~hi [ (site, kind) ]);
+              let r = run_with ~jobs g in
+              let fired = List.length (Fault.fired ()) in
+              Fault.disarm ();
+              Alcotest.(check int) (what ^ ": fault fired") 1 fired;
+              check_same_best what clean r;
+              Alcotest.(check int)
+                (what ^ ": same iterations")
+                clean.stats.iterations r.stats.iterations;
+              Alcotest.(check bool) (what ^ ": retried") true
+                (r.stats.n_retried >= 1);
+              Alcotest.(check int) (what ^ ": nothing quarantined") 0
+                r.stats.n_quarantined)
+            [ 1; 2 ])
+        kinds)
+    visits
+
+(** A long burst no bounded retry can outrun: candidates must be
+    quarantined with structured diagnostics, and the search must still
+    return a usable result instead of crashing. *)
+let test_chaos_persistent_quarantine () =
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let g = randnet 5 in
+  Fault.observe ();
+  let clean = run_with ~jobs:1 g in
+  let v = Fault.visits "simulator" in
+  Fault.disarm ();
+  Fault.arm
+    (Fault.burst ~site:"simulator" ~at:(max 4 (v / 3)) ~len:400
+       Fault.Exception);
+  let r = run_with ~jobs:1 g in
+  Fault.disarm ();
+  Alcotest.(check bool) "candidates quarantined" true
+    (r.stats.n_quarantined > 0);
+  Alcotest.(check bool) "injected-fault diagnostics recorded" true
+    (Diagnostic.has_check "injected-fault" r.diagnostics);
+  Alcotest.(check int) "one diagnostic per quarantine" r.stats.n_quarantined
+    (List.length r.diagnostics);
+  Alcotest.(check bool) "still returns a valid best" true
+    (r.best.peak_mem > 0 && r.best.peak_mem <= clean.initial.peak_mem)
+
+(** With supervision off, the legacy all-or-nothing semantics are
+    preserved: the first failing candidate aborts the whole search. *)
+let test_chaos_unsupervised_aborts () =
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let g = randnet 5 in
+  Fault.observe ();
+  let _ = run_with ~jobs:1 g in
+  let v = Fault.visits "simulator" in
+  Fault.disarm ();
+  Fault.arm
+    (Fault.seeded ~seed:5
+       ~lo:(max 4 (v / 3))
+       ~hi:(max 5 (2 * v / 3))
+       [ ("simulator", Fault.Exception) ]);
+  (match
+     run_with ~cfg:(fun c -> { c with Search.supervise = false }) ~jobs:1 g
+   with
+  | _ -> Alcotest.fail "unsupervised search must re-raise the failure"
+  | exception Pool.Task_error _ -> ());
+  Fault.disarm ()
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Budget exhaustion never raises: the search returns best-so-far with
+    at least one completed iteration and records the ladder step. *)
+let test_budget_exhaustion_best_so_far () =
+  let g = randnet ~cells:2 11 in
+  let r =
+    run_with
+      ~max_iterations:max_int
+      ~cfg:(fun c -> { c with Search.time_budget = 0.3 })
+      ~jobs:1 g
+  in
+  Alcotest.(check bool) "made progress" true (r.stats.iterations > 0);
+  Alcotest.(check bool) "returned a state" true (r.best.peak_mem > 0);
+  Alcotest.(check bool) "ladder recorded best-so-far" true
+    (List.exists (fun (_, step) -> step = "best-so-far") r.stats.degrade_steps);
+  Alcotest.(check bool) "not an interrupt" false r.interrupted
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume of the search                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ckpt path resume =
+  Some { Search.ckpt_path = path; ckpt_every = 1e9; ckpt_resume = resume }
+
+(** Stopping after N iterations and resuming for M more reproduces the
+    uninterrupted (N+M)-iteration search bit-identically — including
+    the work counters, which the snapshot carries forward. *)
+let test_checkpoint_resume_identity () =
+  with_temp_file @@ fun path ->
+  Sys.remove path;
+  let g = randnet 7 in
+  let r6 =
+    run_with ~max_iterations:6
+      ~cfg:(fun c -> { c with Search.checkpoint = ckpt path false })
+      ~jobs:1 g
+  in
+  Alcotest.(check bool) "final checkpoint written" true
+    (r6.stats.n_checkpoints >= 1 && Checkpoint.exists path);
+  let resumed =
+    run_with ~max_iterations:12
+      ~cfg:(fun c -> { c with Search.checkpoint = ckpt path true })
+      ~jobs:1 g
+  in
+  let fresh = run_with ~max_iterations:12 ~jobs:1 g in
+  check_same_best "resumed vs fresh" resumed fresh;
+  Alcotest.(check int) "iterations continue across the resume" 12
+    resumed.stats.iterations;
+  Alcotest.(check int) "same schedules run in total" fresh.stats.n_sched
+    resumed.stats.n_sched;
+  Alcotest.(check int) "same simulations run in total" fresh.stats.n_simul
+    resumed.stats.n_simul;
+  Alcotest.(check int) "same duplicates filtered" fresh.stats.n_filtered
+    resumed.stats.n_filtered
+
+(** A checkpoint of one workload must refuse to resume another. *)
+let test_checkpoint_rejects_foreign_run () =
+  with_temp_file @@ fun path ->
+  Sys.remove path;
+  let _ =
+    run_with ~max_iterations:3
+      ~cfg:(fun c -> { c with Search.checkpoint = ckpt path false })
+      ~jobs:1 (randnet 7)
+  in
+  match
+    run_with ~max_iterations:6
+      ~cfg:(fun c -> { c with Search.checkpoint = ckpt path true })
+      ~jobs:1 (randnet 8)
+  with
+  | _ -> Alcotest.fail "foreign checkpoint must be rejected"
+  | exception Checkpoint.Incompatible _ -> ()
+
+(** SIGTERM mid-search: the run returns early with [interrupted], the
+    checkpoint holds the frontier, and resuming continues exactly where
+    the uninterrupted search would have been. *)
+let test_sigterm_checkpoint_resume () =
+  with_temp_file @@ fun path ->
+  Sys.remove path;
+  (* backstop handler: if the search somehow finishes before the killer
+     fires, the stray SIGTERM must not take down the test runner *)
+  let prev = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigterm prev)
+  @@ fun () ->
+  let g = randnet ~cells:2 13 in
+  let pid = Unix.getpid () in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.4;
+        Unix.kill pid Sys.sigterm)
+  in
+  let r =
+    run_with ~max_iterations:max_int
+      ~cfg:(fun c -> { c with Search.checkpoint = ckpt path false })
+      ~jobs:1 g
+  in
+  Domain.join killer;
+  Alcotest.(check bool) "run reports the interrupt" true r.interrupted;
+  Alcotest.(check bool) "made progress before the interrupt" true
+    (r.stats.iterations > 0);
+  Alcotest.(check bool) "checkpoint written" true (Checkpoint.exists path);
+  let total = r.stats.iterations + 2 in
+  let resumed =
+    run_with ~max_iterations:total
+      ~cfg:(fun c -> { c with Search.checkpoint = ckpt path true })
+      ~jobs:1 g
+  in
+  let fresh = run_with ~max_iterations:total ~jobs:1 g in
+  check_same_best "post-interrupt resume vs fresh" resumed fresh;
+  Alcotest.(check int) "iterations continue" total resumed.stats.iterations
+
+let suite =
+  [
+    tc "fault injector fires by visit count" test_fault_injector;
+    tc "seeded plans and bursts are deterministic" test_fault_seeded_and_burst;
+    tc "retry absorbs transient failures" test_retry_transient;
+    tc "retry gives up after the budget" test_retry_exhausted;
+    tc "retry re-raises fatal exceptions" test_retry_fatal_reraises;
+    tc "checkpoint round-trips and rejects mismatches"
+      test_checkpoint_roundtrip;
+    tc "checkpoint detects corruption and truncation"
+      test_checkpoint_detects_corruption;
+    tc "transient faults leave the search bit-identical"
+      test_chaos_transient_identity;
+    tc "persistent faults are quarantined, never fatal"
+      test_chaos_persistent_quarantine;
+    tc "unsupervised mode keeps legacy abort semantics"
+      test_chaos_unsupervised_aborts;
+    tc "budget exhaustion returns best-so-far" test_budget_exhaustion_best_so_far;
+    tc "checkpoint/resume reproduces the uninterrupted run"
+      test_checkpoint_resume_identity;
+    tc "checkpoints of foreign runs are rejected"
+      test_checkpoint_rejects_foreign_run;
+    tc "SIGTERM saves state and resumes bit-identically"
+      test_sigterm_checkpoint_resume;
+  ]
