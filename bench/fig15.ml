@@ -14,28 +14,11 @@ let run (env : Common.env) =
        w.batch env.budget);
   let config = Common.search_config env in
   let r = Search.optimize_latency ~config env.cache ~mem_ratio:0.6 g in
-  let st = r.stats in
-  let total =
-    st.t_transform +. st.t_sched +. st.t_simul +. st.t_hash +. st.t_bound
-  in
-  Printf.printf "%-10s %10s %10s %10s %10s %10s %10s %10s %10s\n" "" "Total"
-    "Trans." "Sched." "Simul." "Hash" "Bound" "Filtered" "PrunedLB";
-  Printf.printf "%-10s %10d %10d %10d %10d %10d %10d %10d %10d\n" "Count"
-    (st.n_transform + st.n_sched + st.n_simul + st.n_hash + st.n_bound_calls)
-    st.n_transform st.n_sched st.n_simul st.n_hash st.n_bound_calls
-    st.n_filtered st.n_pruned_lb;
-  Printf.printf "%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10s %10s\n"
-    "Cost(secs)" total st.t_transform st.t_sched st.t_simul st.t_hash
-    st.t_bound "/" "/";
-  Printf.printf "\nIterations: %d; best peak %.1f MB, best latency %.2f ms\n"
-    st.iterations
+  (* the phase table, cache and worker lines all come from the shared
+     stat renderer (also used by [magis_cli optimize]) *)
+  Format.printf "%a%!" Search.pp_stats r.stats;
+  Printf.printf "Best peak %.1f MB, best latency %.2f ms\n"
     (float_of_int r.best.peak_mem /. 1e6)
     (r.best.latency *. 1e3);
   let hits, misses = Op_cost.stats env.cache in
-  Printf.printf "Operator cost cache: %d hits, %d misses\n" hits misses;
-  Printf.printf "Simulation cache: %d hits, %d misses\n" st.n_sim_hit
-    st.n_sim_miss;
-  Printf.printf "Expansion workers: %d; per-domain busy seconds: [%s]\n"
-    env.jobs
-    (String.concat "; "
-       (Array.to_list (Array.map (Printf.sprintf "%.2f") st.domain_time)))
+  Printf.printf "Operator cost cache: %d hits, %d misses\n" hits misses

@@ -26,7 +26,14 @@ let experiments : (string * (Common.env -> unit)) list =
     ("resilience", Resilience_bench.run);
   ]
 
-let run_selected names full budget jobs iters =
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let run_selected names full budget jobs iters trace metrics =
+  if trace <> None then Magis.Trace.enable ();
+  if metrics <> None then Magis.Metrics.set_enabled true;
   let env = Common.make_env ~jobs ~iters ~full ~budget () in
   let selected =
     match names with
@@ -44,9 +51,21 @@ let run_selected names full budget jobs iters =
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in
-      f env;
+      Magis.Trace.with_span ~cat:"bench" name (fun () -> f env);
       Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
-    selected
+    selected;
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Magis.Trace.disable ();
+      write_file path (Magis.Trace.to_chrome ());
+      Printf.printf "[trace written to %s]\n" path);
+  match metrics with
+  | None -> ()
+  | Some path ->
+      Magis.Metrics.set_enabled false;
+      write_file path (Magis.Metrics.to_json ());
+      Printf.printf "[metrics written to %s]\n" path
 
 open Cmdliner
 
@@ -73,10 +92,19 @@ let iters =
   in
   Arg.(value & opt int max_int & info [ "iters" ] ~doc)
 
+let trace =
+  let doc = "Enable tracing; write a Chrome trace-event file here at exit." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc)
+
+let metrics =
+  let doc = "Enable metrics; write the registry snapshot (JSON) here at exit." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the MAGIS paper's evaluation tables and figures" in
   Cmd.v
     (Cmd.info "magis-bench" ~doc)
-    Term.(const run_selected $ names $ full $ budget $ jobs $ iters)
+    Term.(const run_selected $ names $ full $ budget $ jobs $ iters $ trace
+          $ metrics)
 
 let () = exit (Cmd.eval cmd)

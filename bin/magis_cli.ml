@@ -4,7 +4,11 @@
     - [magis_cli inspect WORKLOAD] — graph statistics, D-Graph dimensions
       and F-Tree candidates;
     - [magis_cli optimize WORKLOAD (--max-overhead P | --mem-ratio R)] —
-      run the optimizer and print the resulting plan;
+      run the optimizer and print the resulting plan
+      ([--stats-json]/[--trace]/[--metrics] export the run's telemetry);
+    - [magis_cli profile WORKLOAD -o DIR] — optimize with tracing,
+      metrics and per-iteration telemetry enabled; writes trace.json,
+      metrics.json, memtl.csv and search.jsonl;
     - [magis_cli verify WORKLOAD] — run the IR verifier and schedule
       legality checker on a workload graph;
     - [magis_cli analyze [WORKLOAD]] — schedule-independent liveness and
@@ -65,10 +69,17 @@ let cmd_inspect name full =
 let exit_interrupted = 3
 let exit_incompatible = 4
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
 let cmd_optimize name full overhead mem_ratio budget iters jobs ckpt resume
-    ckpt_every no_supervise =
+    ckpt_every no_supervise stats_json_path trace_path metrics_path =
   let w, g = load name full in
   let cache = Op_cost.create Hardware.default in
+  if trace_path <> None then Trace.enable ();
+  if metrics_path <> None then Metrics.set_enabled true;
   let base = Simulator.run cache g (Graph.program_order g) in
   if resume && ckpt = None then begin
     prerr_endline "magis: --resume requires --checkpoint FILE";
@@ -104,9 +115,6 @@ let cmd_optimize name full overhead mem_ratio budget iters jobs ckpt resume
     (List.length (Ftree.enabled_indices best.ftree))
     (Graph.fold (fun n a -> if n.op = Op.Store then a + 1 else a) best.graph 0)
     result.stats.iterations;
-  if jobs > 1 then
-    Printf.printf "  expansion: %d worker domain(s), sim cache %d hits / %d misses\n"
-      jobs result.stats.n_sim_hit result.stats.n_sim_miss;
   List.iter
     (fun i ->
       let f = Ftree.fission_at best.ftree i in
@@ -114,15 +122,30 @@ let cmd_optimize name full overhead mem_ratio budget iters jobs ckpt resume
         (Util.Int_set.cardinal (Fission.members f))
         (Fission.fission_number f))
     (Ftree.enabled_indices best.ftree);
-  if result.stats.n_retried > 0 || result.stats.n_quarantined > 0 then
-    Printf.printf "  resilience: %d candidate(s) retried, %d quarantined\n"
-      result.stats.n_retried result.stats.n_quarantined;
+  (* the single stat renderer shared with the Fig. 15 bench replaces
+     the ad-hoc expansion/resilience/degradation lines this command
+     used to assemble itself *)
+  Format.printf "%a%!" Search.pp_stats result.stats;
   List.iter
     (fun d -> Fmt.pr "%a@." Diagnostic.pp d)
     result.diagnostics;
-  List.iter
-    (fun (t, step) -> Printf.printf "  degraded at %.1fs: %s\n" t step)
-    result.stats.degrade_steps;
+  (match stats_json_path with
+  | None -> ()
+  | Some path ->
+      write_file path (Json.to_string (Search.stats_json result.stats));
+      Printf.printf "  stats written to %s\n" path);
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+      Trace.disable ();
+      write_file path (Trace.to_chrome ());
+      Printf.printf "  trace written to %s\n" path);
+  (match metrics_path with
+  | None -> ()
+  | Some path ->
+      Metrics.set_enabled false;
+      write_file path (Metrics.to_json ());
+      Printf.printf "  metrics written to %s\n" path);
   if result.stats.n_checkpoints > 0 then
     Printf.printf "  checkpoints: %d written to %s\n"
       result.stats.n_checkpoints
@@ -131,6 +154,82 @@ let cmd_optimize name full overhead mem_ratio budget iters jobs ckpt resume
     Printf.printf "  interrupted by %s; state saved, rerun with --resume\n"
       (match Interrupt.signal_name () with Some s -> s | None -> "signal");
     exit exit_interrupted
+  end
+
+(** Profile a full optimization run: tracing and metrics enabled, a
+    per-iteration telemetry sink wired into the search, and the best
+    schedule replayed with event capture.  Writes four artifacts into
+    the output directory: trace.json (Chrome trace: schedule lanes on
+    the compute/copy streams plus the wall-clock span view),
+    metrics.json, memtl.csv (memory over schedule steps with the
+    Membound lower/upper bound columns) and search.jsonl (one record
+    per search iteration).  Exits non-zero when the exported memory
+    timeline's peak disagrees with the simulator's. *)
+let cmd_profile name full overhead mem_ratio budget iters jobs outdir =
+  let w, g = load name full in
+  let cache = Op_cost.create Hardware.default in
+  if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
+  Trace.enable ();
+  Metrics.set_enabled true;
+  let sink = Profile.create (Filename.concat outdir "search.jsonl") in
+  let config =
+    { Search.default_config with time_budget = budget; jobs;
+      max_iterations = iters; profile = Some sink }
+  in
+  let result =
+    Fun.protect ~finally:(fun () -> Profile.close sink) (fun () ->
+        match (overhead, mem_ratio) with
+        | Some o, _ -> Search.optimize_memory ~config cache ~overhead:o g
+        | None, Some r -> Search.optimize_latency ~config cache ~mem_ratio:r g
+        | None, None -> Search.optimize_memory ~config cache ~overhead:0.10 g)
+  in
+  let best = result.best in
+  (* replay the best schedule with event capture, under the same F-Tree
+     accounting hooks the search evaluated it with *)
+  let acc = Ftree.accounting cache best.graph best.ftree in
+  let sim, events =
+    Simulator.run_events ~size_of:acc.size_of ~cost_of:acc.cost_of cache
+      best.graph best.schedule
+  in
+  Trace.disable ();
+  Metrics.set_enabled false;
+  let spans =
+    List.map
+      (fun (e : Simulator.event) ->
+        let n = Graph.node best.graph e.ev_node in
+        { Timeline.name = Printf.sprintf "%s#%d" (Op.name n.op) e.ev_node;
+          lane = (if e.ev_copy then Timeline.Copy else Timeline.Compute);
+          t_start = e.ev_start;
+          t_dur = e.ev_finish -. e.ev_start;
+          bytes = Shape.size_bytes n.shape })
+      events
+  in
+  let out file = Filename.concat outdir file in
+  write_file (out "trace.json")
+    (Timeline.chrome ~extra:(Trace.chrome_events ()) spans);
+  let tl = Lifetime.timeline sim.analysis in
+  let bound = Membound.compute ~size_of:acc.size_of best.graph in
+  write_file (out "memtl.csv")
+    (Timeline.memory_csv ~lower:bound.lower ~upper:bound.ub_total tl);
+  write_file (out "metrics.json") (Metrics.to_json ());
+  Printf.printf "%s: %d iteration(s) profiled; best %.1f MB / %.2f ms\n" w.name
+    result.stats.iterations (mb best.peak_mem) (ms best.latency);
+  Printf.printf "  %s: %d schedule event(s), %d trace event(s)%s\n"
+    (out "trace.json") (List.length spans)
+    (List.length (Trace.events ()))
+    (let d = Trace.dropped () in
+     if d > 0 then Printf.sprintf " (%d dropped)" d else "");
+  Printf.printf "  %s: %d step(s), peak %.1f MB\n" (out "memtl.csv")
+    (Array.length tl)
+    (mb (Timeline.memory_max tl));
+  Printf.printf "  %s: %d record(s)\n" (out "search.jsonl") (Profile.count sink);
+  Printf.printf "  %s\n" (out "metrics.json");
+  (* cross-check the exported artifacts against the simulator *)
+  if Timeline.memory_max tl <> sim.peak_mem then begin
+    Printf.eprintf
+      "magis: memory timeline peak %d disagrees with simulator peak %d\n"
+      (Timeline.memory_max tl) sim.peak_mem;
+    exit 1
   end
 
 (** Chaos harness: a seeded Randnet search is run fault-free, then once
@@ -482,9 +581,62 @@ let optimize_cmd =
              ~doc:"Disable supervised expansion: the first candidate \
                    failure aborts the whole search (legacy semantics).")
   in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ]
+             ~doc:"Write the per-phase search statistics as JSON to this file.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Enable tracing and write a Chrome trace-event file here.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ]
+             ~doc:"Enable metrics and write the registry snapshot (JSON) here.")
+  in
   Cmd.v (Cmd.info "optimize" ~doc:"Optimize a workload")
     Term.(const cmd_optimize $ workload $ full $ overhead $ mem_ratio $ budget
-          $ iters $ jobs $ checkpoint $ resume $ ckpt_every $ no_supervise)
+          $ iters $ jobs $ checkpoint $ resume $ ckpt_every $ no_supervise
+          $ stats_json $ trace $ metrics)
+
+let profile_cmd =
+  let overhead =
+    Arg.(value & opt (some float) None
+         & info [ "max-overhead" ] ~doc:"Minimize memory; allow this latency overhead (e.g. 0.10).")
+  in
+  let mem_ratio =
+    Arg.(value & opt (some float) None
+         & info [ "mem-ratio" ] ~doc:"Minimize latency; cap memory at this ratio of the unoptimized peak.")
+  in
+  let budget =
+    Arg.(value & opt float 10.0 & info [ "budget" ] ~doc:"Search seconds.")
+  in
+  let iters =
+    Arg.(value & opt int max_int
+         & info [ "iters" ] ~doc:"Maximum search iterations.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for candidate expansion (1 = serial).")
+  in
+  let outdir =
+    Arg.(value & opt string "magis-profile"
+         & info [ "o"; "output" ]
+             ~doc:"Directory for trace.json, metrics.json, memtl.csv and \
+                   search.jsonl (created when missing).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Optimize a workload with tracing, metrics and per-iteration \
+          telemetry enabled; write the Chrome trace (schedule lanes + \
+          wall-clock spans), metrics snapshot, memory timeline and search \
+          JSONL into a directory")
+    Term.(const cmd_profile $ workload $ full $ overhead $ mem_ratio $ budget
+          $ iters $ jobs $ outdir)
 
 let chaos_cmd =
   let seed =
@@ -570,5 +722,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
-          [ list_cmd; inspect_cmd; optimize_cmd; codegen_cmd; export_cmd;
-            verify_cmd; analyze_cmd; lint_rules_cmd; chaos_cmd ]))
+          [ list_cmd; inspect_cmd; optimize_cmd; profile_cmd; codegen_cmd;
+            export_cmd; verify_cmd; analyze_cmd; lint_rules_cmd; chaos_cmd ]))

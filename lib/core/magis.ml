@@ -27,6 +27,13 @@ module Simulator = Magis_cost.Simulator
 module Allocator = Magis_cost.Allocator
 module Sim_cache = Magis_cost.Sim_cache
 
+(* observability: tracing, metrics, timeline/profile export *)
+module Json = Magis_obs.Json
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+module Timeline = Magis_obs.Timeline
+module Profile = Magis_obs.Profile
+
 (* parallel runtime: domain pool and striped-lock table *)
 module Pool = Magis_par.Pool
 module Striped = Magis_par.Striped

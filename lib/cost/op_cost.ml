@@ -14,6 +14,10 @@
 
 open Magis_ir
 module Fault = Magis_resilience.Fault
+module Metrics = Magis_obs.Metrics
+
+let m_hits = Metrics.counter "op_cost.hits"
+let m_misses = Metrics.counter "op_cost.misses"
 
 exception Non_finite of { what : string; value : float }
 
@@ -69,6 +73,7 @@ let cost t (op : Op.kind) (ins : Shape.t array) (out : Shape.t) : float =
   | Some c ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.lock;
+      Metrics.incr m_hits;
       (* the fault site covers hits and misses alike, so a site visit
          count is independent of cache warmth *)
       let c = Fault.cost "op_cost" c in
@@ -77,6 +82,7 @@ let cost t (op : Op.kind) (ins : Shape.t array) (out : Shape.t) : float =
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.lock;
+      Metrics.incr m_misses;
       let c = Fault.cost "op_cost" (compute_raw t.hw op ins out) in
       (* guard before caching: a corrupted value must never be memoized *)
       check_finite ~what:(Op.name op ^ " cost") c;

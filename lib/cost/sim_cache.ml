@@ -1,6 +1,10 @@
 (** Simulation cache (see the interface for the keying discipline). *)
 
 open Magis_ir
+module Metrics = Magis_obs.Metrics
+
+let m_hits = Metrics.counter "sim_cache.hits"
+let m_misses = Metrics.counter "sim_cache.misses"
 
 type value = {
   schedule : int list;
@@ -34,9 +38,11 @@ let find t k =
   match Magis_par.Striped.find t.tbl k with
   | Some _ as r ->
       Atomic.incr t.hits;
+      Metrics.incr m_hits;
       r
   | None ->
       Atomic.incr t.misses;
+      Metrics.incr m_misses;
       None
 
 let add t k v = Magis_par.Striped.add t.tbl k v

@@ -11,9 +11,17 @@
     time.
 
     Latency and peak memory can be reshaped by the fission layer through
-    the optional [cost_of] and [size_of] hooks. *)
+    the optional [cost_of] and [size_of] hooks.
+
+    [run_events] additionally returns the per-node placement (stream,
+    start, finish) the simulation computed, for timeline export; [run]
+    keeps the allocation-free hot path used by the search loop. *)
 
 open Magis_ir
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+
+let runs_total = Metrics.counter "simulator.runs"
 
 type result = {
   latency : float;  (** seconds for one iteration of the schedule *)
@@ -23,14 +31,25 @@ type result = {
   analysis : Lifetime.t;
 }
 
-let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
+type event = {
+  ev_node : int;
+  ev_copy : bool;  (** true: copy stream (Store/Load); false: compute *)
+  ev_start : float;
+  ev_finish : float;
+}
+
+(** [sink], when given, receives one event per scheduled non-Input node
+    (in schedule order, accumulated newest-first). *)
+let simulate ?size_of ?cost_of ?sink (cache : Op_cost.t) (g : Graph.t)
     (order : int list) : result =
   Magis_resilience.Fault.hit "simulator";
+  Metrics.incr runs_total;
   let cost_of =
     match cost_of with
     | Some f -> f
     | None -> fun id -> Op_cost.node_cost cache g id
   in
+  let emit ev = match sink with None -> () | Some r -> r := ev :: !r in
   let finish = Hashtbl.create (Graph.n_nodes g) in
   let ready v =
     List.fold_left
@@ -52,7 +71,9 @@ let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
           let start = max !t_copy (ready v) in
           t_copy := start +. dur;
           copy_busy := !copy_busy +. dur;
-          Hashtbl.replace finish v !t_copy
+          Hashtbl.replace finish v !t_copy;
+          emit { ev_node = v; ev_copy = true; ev_start = start;
+                 ev_finish = !t_copy }
       | Op.Input _ -> Hashtbl.replace finish v 0.0
       | _ ->
           let dur = cost_of v in
@@ -66,7 +87,9 @@ let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
           let start = max !t_compute (ready v) in
           t_compute := start +. dur;
           compute_busy := !compute_busy +. dur;
-          Hashtbl.replace finish v !t_compute)
+          Hashtbl.replace finish v !t_compute;
+          emit { ev_node = v; ev_copy = false; ev_start = start;
+                 ev_finish = !t_compute })
     order;
   let latency = max !t_compute !t_copy in
   Op_cost.check_finite ~what:"simulated latency" latency;
@@ -78,3 +101,12 @@ let run ?size_of ?cost_of (cache : Op_cost.t) (g : Graph.t)
     copy_busy = !copy_busy;
     analysis;
   }
+
+let run ?size_of ?cost_of cache g order =
+  simulate ?size_of ?cost_of cache g order
+
+let run_events ?size_of ?cost_of cache g order =
+  Trace.with_span ~cat:"cost" "simulate" @@ fun () ->
+  let sink = ref [] in
+  let r = simulate ?size_of ?cost_of ~sink cache g order in
+  (r, List.rev !sink)

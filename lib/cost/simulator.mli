@@ -19,6 +19,14 @@ type result = {
   analysis : Lifetime.t;
 }
 
+(** One scheduled non-Input node's placement on the device model. *)
+type event = {
+  ev_node : int;
+  ev_copy : bool;  (** true: copy stream (Store/Load); false: compute *)
+  ev_start : float;  (** seconds from schedule start *)
+  ev_finish : float;
+}
+
 val run :
   ?size_of:(int -> int) ->
   ?cost_of:(int -> float) ->
@@ -26,3 +34,14 @@ val run :
   Graph.t ->
   int list ->
   result
+
+(** Like {!run}, additionally returning the per-node placements in
+    schedule order — the input of {!Magis_obs.Timeline} lane export.
+    Traced as a ["simulate"] span. *)
+val run_events :
+  ?size_of:(int -> int) ->
+  ?cost_of:(int -> float) ->
+  Op_cost.t ->
+  Graph.t ->
+  int list ->
+  result * event list

@@ -15,6 +15,8 @@
 
 open Magis_ir
 
+let interp_runs = Magis_obs.Metrics.counter "interp.runs"
+
 type tensor = { shape : Shape.t; data : float array }
 
 let numel t = Array.length t.data
@@ -520,6 +522,11 @@ let eval_node (_g : Graph.t) (n : Graph.node) (ins : tensor array) : tensor =
 (** Evaluate [g]: inputs come from [env] (node id -> tensor).  Returns all
     node values. *)
 let run (g : Graph.t) ~(env : int -> tensor) : (int, tensor) Hashtbl.t =
+  Magis_obs.Trace.with_span ~cat:"exec"
+    ~args:[ ("nodes", string_of_int (Graph.n_nodes g)) ]
+    "interp"
+  @@ fun () ->
+  Magis_obs.Metrics.incr interp_runs;
   let values = Hashtbl.create (Graph.n_nodes g) in
   List.iter
     (fun v ->

@@ -1,0 +1,283 @@
+(** Minimal JSON values (see the interface).
+
+    The emitter is careful about the two places hand-rolled JSON usually
+    goes wrong: string escaping (control characters, quotes, backslash)
+    and float formatting (a non-finite float has no JSON representation
+    and is emitted as [null]; finite floats use the shortest [%g]
+    rendering that round-trips, with a forced [".0"] so a float never
+    re-parses as an integer).  The parser is a plain recursive descent
+    over the input string — small, dependency-free, and strict enough to
+    act as the well-formedness oracle in the test suite. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error msg -> Some (Printf.sprintf "Magis_obs.Json.Parse_error(%s)" msg)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(** Shortest [%g] rendering that re-parses to the same float; integral
+    values are suffixed with [".0"] so emission never changes the type
+    of a round-tripped value. *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.pos m))) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c "expected %c, found %c" ch x
+  | None -> fail c "expected %c, found end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c "invalid literal"
+
+(** Append the UTF-8 encoding of [u] (a BMP code point from [\uXXXX]). *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; advance c
+        | Some '\\' -> Buffer.add_char buf '\\'; advance c
+        | Some '/' -> Buffer.add_char buf '/'; advance c
+        | Some 'n' -> Buffer.add_char buf '\n'; advance c
+        | Some 'r' -> Buffer.add_char buf '\r'; advance c
+        | Some 't' -> Buffer.add_char buf '\t'; advance c
+        | Some 'b' -> Buffer.add_char buf '\b'; advance c
+        | Some 'f' -> Buffer.add_char buf '\012'; advance c
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then fail c "truncated \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let u =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail c "invalid \\u escape %s" hex
+            in
+            c.pos <- c.pos + 4;
+            add_utf8 buf u
+        | _ -> fail c "invalid escape");
+        go ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek c with Some ch when is_num_char ch -> advance c; true | _ -> false do
+    ()
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail c "invalid number %s" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        (* an integer literal too large for [int]: keep it as a float *)
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail c "invalid number %s" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected , or ] in array"
+        in
+        items []
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected , or } in object"
+        in
+        fields []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c "unexpected character %c" ch
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,47 @@
+(** Minimal dependency-free JSON values: emission and strict parsing.
+
+    This is the serialization substrate of the observability subsystem:
+    {!Trace} and {!Timeline} render Chrome [trace_event] documents
+    through it, {!Metrics} snapshots and {!Profile} run logs are built
+    from its values, and the parser lets tests (and callers) validate
+    every emitted artifact by reading it back.
+
+    Deliberately small: no streaming, no number-preserving bignums, no
+    duplicate-key detection — exactly what the exporters need and
+    nothing more.  Integer literals that fit [int] parse as {!Int};
+    everything else numeric parses as {!Float}.  Emission never
+    produces invalid JSON: strings are escaped, non-finite floats
+    become [null], and a finite float always renders with a fractional
+    part or exponent so it re-parses as a float. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Raised by {!of_string} with a position-annotated message. *)
+exception Parse_error of string
+
+(** Compact (no whitespace) rendering. *)
+val to_string : t -> string
+
+(** Same, appending to an existing buffer. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Raises {!Parse_error}. *)
+val of_string : string -> t
+
+(** Field lookup on an object ([None] on other constructors). *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** Numeric coercion: accepts {!Int} and {!Float}. *)
+val to_float : t -> float option
+
+val to_list : t -> t list option

@@ -1,0 +1,58 @@
+(** Search-telemetry JSONL sink (see the interface).
+
+    One JSON object per line, flushed as written, so a run that is
+    killed mid-search still leaves every completed iteration on disk —
+    the same crash-tolerance posture as the checkpoint subsystem.  The
+    sink is mutex-guarded: the search loop records from one domain, but
+    nothing in the API forbids concurrent writers. *)
+
+type t = {
+  oc : out_channel;
+  path : string;
+  lock : Mutex.t;
+  mutable count : int;
+  mutable closed : bool;
+}
+
+let create path =
+  { oc = open_out path; path; lock = Mutex.create (); count = 0; closed = false }
+
+let path t = t.path
+
+let record t fields =
+  let line = Json.to_string (Json.Obj fields) in
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    t.count <- t.count + 1
+  end;
+  Mutex.unlock t.lock
+
+let count t =
+  Mutex.lock t.lock;
+  let n = t.count in
+  Mutex.unlock t.lock;
+  n
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end;
+  Mutex.unlock t.lock
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> go (Json.of_string line :: acc)
+      in
+      go [])

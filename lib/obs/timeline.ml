@@ -1,0 +1,94 @@
+(** Schedule timeline export (see the interface).
+
+    This module is pure data-in, text-out: it knows nothing about
+    graphs, simulators or lifetime analysis.  Callers (the cost layer,
+    the CLI) map their simulated events to {!span} records and their
+    memory curves to plain int arrays; keeping the types flat here is
+    what lets [Magis_obs] sit below every other library without a
+    dependency cycle. *)
+
+type lane = Compute | Copy
+
+type span = {
+  name : string;
+  lane : lane;
+  t_start : float;  (** seconds from schedule start *)
+  t_dur : float;  (** seconds *)
+  bytes : int;  (** bytes produced by the op; 0 when not applicable *)
+}
+
+let lane_tid = function Compute -> 0 | Copy -> 1
+
+(* The schedule view lives in its own Chrome process (pid 2) so it gets
+   a lane group separate from the wall-clock trace (pid 1, see
+   {!Trace.chrome_events}).  Metadata events name the process and both
+   lanes up front, so the compute and copy lanes exist in the viewer
+   even for a schedule with no swap traffic. *)
+let pid = 2
+
+let metadata_events =
+  let meta name tid args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  [
+    meta "process_name" 0 [ ("name", Json.String "schedule") ];
+    meta "thread_name" 0 [ ("name", Json.String "compute") ];
+    meta "thread_name" 1 [ ("name", Json.String "copy") ];
+  ]
+
+let chrome_events spans =
+  let span_event s =
+    let args =
+      ("lane", Json.String (match s.lane with Compute -> "compute" | Copy -> "copy"))
+      :: (if s.bytes > 0 then [ ("bytes", Json.Int s.bytes) ] else [])
+    in
+    Json.Obj
+      [
+        ("name", Json.String s.name);
+        ("cat", Json.String "schedule");
+        ("ph", Json.String "X");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int (lane_tid s.lane));
+        ("ts", Json.Float (Float.max 0.0 (s.t_start *. 1e6)));
+        ("dur", Json.Float (Float.max 0.0 (s.t_dur *. 1e6)));
+        ("args", Json.Obj args);
+      ]
+  in
+  metadata_events @ List.map span_event spans
+
+let chrome ?(extra = []) spans =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (chrome_events spans @ extra));
+         ("displayTimeUnit", Json.String "ms");
+       ])
+
+let memory_max timeline = Array.fold_left max 0 timeline
+
+let memory_csv ?lower ?upper timeline =
+  let b = Buffer.create 256 in
+  let opt_col v = match v with Some _ -> true | None -> false in
+  Buffer.add_string b "step,bytes";
+  if opt_col lower then Buffer.add_string b ",lower_bound";
+  if opt_col upper then Buffer.add_string b ",upper_bound";
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i v ->
+      Buffer.add_string b (Printf.sprintf "%d,%d" i v);
+      (match lower with
+      | Some l -> Buffer.add_string b (Printf.sprintf ",%d" l)
+      | None -> ());
+      (match upper with
+      | Some u -> Buffer.add_string b (Printf.sprintf ",%d" u)
+      | None -> ());
+      Buffer.add_char b '\n')
+    timeline;
+  Buffer.contents b

@@ -1,0 +1,38 @@
+(** Export a simulated schedule as a Chrome-trace lane view, and a
+    memory-over-time curve as CSV.
+
+    Deliberately decoupled from the rest of the codebase: inputs are
+    plain {!span} records and [int array] memory curves.  The cost
+    layer's [Simulator.run_events] produces per-node events that the
+    CLI maps to spans (compute stream → {!Compute} lane, swap traffic →
+    {!Copy} lane); [Lifetime.timeline] produces the memory curve, and
+    [Membound] the lower/upper annotation lines. *)
+
+type lane = Compute | Copy
+
+type span = {
+  name : string;
+  lane : lane;
+  t_start : float;  (** seconds from schedule start *)
+  t_dur : float;  (** seconds *)
+  bytes : int;  (** bytes produced by the op; 0 when not applicable *)
+}
+
+(** Chrome [trace_event] objects for the schedule: one complete event
+    per span on pid 2 (tid 0 = compute lane, tid 1 = copy lane),
+    preceded by metadata naming the process and both lanes — so both
+    lanes exist in the viewer even when the schedule has no swaps. *)
+val chrome_events : span list -> Json.t list
+
+(** A complete Chrome trace JSON document for the schedule.  [extra]
+    events (e.g. {!Trace.chrome_events} of the wall-clock trace) are
+    appended, producing a single file with both views. *)
+val chrome : ?extra:Json.t list -> span list -> string
+
+(** CSV rendering of a memory-vs-step curve: header plus one
+    [step,bytes] line per entry; [lower]/[upper] add constant
+    bound columns (e.g. from [Membound.compute]). *)
+val memory_csv : ?lower:int -> ?upper:int -> int array -> string
+
+(** Peak of the curve (0 for an empty curve). *)
+val memory_max : int array -> int

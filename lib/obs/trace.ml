@@ -1,0 +1,183 @@
+(** Lightweight tracing (see the interface for the contract).
+
+    One atomic flag gates every recording call, so the disabled path —
+    the production default — is a single load and a branch, with no
+    allocation.  When enabled, events go into a fixed-capacity ring
+    buffer under one mutex; overflow overwrites the oldest event and
+    counts it in [dropped], so a long run degrades to "most recent
+    window" instead of unbounded memory.  Recording never blocks on
+    I/O: export is a separate, explicit step. *)
+
+type kind = Span of float | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;  (** absolute monotonized seconds (see {!now}) *)
+  tid : int;  (** domain id of the recording domain *)
+  kind : kind;
+  args : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Monotonized clock                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Unix.gettimeofday] can step backwards (NTP adjustments); busy-time
+   deltas and span durations must not go negative.  The stdlib exposes
+   no CLOCK_MONOTONIC, so we monotonize the wall clock: an atomic holds
+   the latest timestamp ever returned (as int64 bits, CAS-able), and
+   [now] never returns less than it — across all domains. *)
+let last_now = Atomic.make (Int64.bits_of_float 0.0)
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let prev_bits = Atomic.get last_now in
+  let prev = Int64.float_of_bits prev_bits in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_now prev_bits (Int64.bits_of_float t)
+  then t
+  else now ()
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ring = {
+  buf : event option array;
+  mutable head : int;  (** index of the oldest event *)
+  mutable count : int;
+  mutable dropped : int;
+  epoch : float;  (** [now] at {!enable} time; export is relative to it *)
+}
+
+let on = Atomic.make false
+let lock = Mutex.create ()
+let ring : ring option ref = ref None
+
+let enable ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Magis_obs.Trace.enable: capacity < 1";
+  Mutex.lock lock;
+  ring :=
+    Some
+      { buf = Array.make capacity None; head = 0; count = 0; dropped = 0;
+        epoch = now () };
+  Atomic.set on true;
+  Mutex.unlock lock
+
+(** Stop recording; the buffer stays readable until the next {!enable}
+    or {!clear}. *)
+let disable () = Atomic.set on false
+
+let enabled () = Atomic.get on
+
+let clear () =
+  Mutex.lock lock;
+  Atomic.set on false;
+  ring := None;
+  Mutex.unlock lock
+
+let record ev =
+  Mutex.lock lock;
+  (match !ring with
+  | None -> ()
+  | Some r ->
+      let cap = Array.length r.buf in
+      if r.count < cap then begin
+        r.buf.((r.head + r.count) mod cap) <- Some ev;
+        r.count <- r.count + 1
+      end
+      else begin
+        r.buf.(r.head) <- Some ev;
+        r.head <- (r.head + 1) mod cap;
+        r.dropped <- r.dropped + 1
+      end);
+  Mutex.unlock lock
+
+let domain_id () = (Domain.self () :> int)
+
+let instant ?(cat = "app") ?(args = []) name =
+  if Atomic.get on then
+    record { name; cat; ts = now (); tid = domain_id (); kind = Instant; args }
+
+let with_span ?(cat = "app") ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        record
+          { name; cat; ts = t0; tid = domain_id ();
+            kind = Span (now () -. t0); args })
+      f
+  end
+
+let events () =
+  Mutex.lock lock;
+  let l =
+    match !ring with
+    | None -> []
+    | Some r ->
+        let cap = Array.length r.buf in
+        List.init r.count (fun i ->
+            match r.buf.((r.head + i) mod cap) with
+            | Some e -> e
+            | None -> assert false (* count covers only written cells *))
+  in
+  Mutex.unlock lock;
+  l
+
+let dropped () =
+  Mutex.lock lock;
+  let d = match !ring with None -> 0 | Some r -> r.dropped in
+  Mutex.unlock lock;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let epoch () =
+  Mutex.lock lock;
+  let e = match !ring with None -> 0.0 | Some r -> r.epoch in
+  Mutex.unlock lock;
+  e
+
+(** One Chrome [trace_event] object per recorded event: complete events
+    ([ph = "X"]) for spans, thread-scoped instants ([ph = "i"]) for
+    instants; timestamps microseconds relative to the enable epoch. *)
+let chrome_events () : Json.t list =
+  let e0 = epoch () in
+  List.map
+    (fun e ->
+      let us t = Json.Float (Float.max 0.0 (t *. 1e6)) in
+      let common =
+        [
+          ("name", Json.String e.name);
+          ("cat", Json.String e.cat);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int e.tid);
+          ("ts", us (e.ts -. e0));
+        ]
+      in
+      let kind =
+        match e.kind with
+        | Span dur -> [ ("ph", Json.String "X"); ("dur", us dur) ]
+        | Instant -> [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+      in
+      let args =
+        match e.args with
+        | [] -> []
+        | l ->
+            [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) l)) ]
+      in
+      Json.Obj (common @ kind @ args))
+    (events ())
+
+let to_chrome () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (chrome_events ()));
+         ("displayTimeUnit", Json.String "ms");
+       ])

@@ -45,6 +45,14 @@ module Checkpoint = Magis_resilience.Checkpoint
 module Interrupt = Magis_resilience.Interrupt
 module Diagnostic = Magis_analysis.Diagnostic
 module Int_set = Util.Int_set
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+module Profile = Magis_obs.Profile
+module Json = Magis_obs.Json
+
+let m_iterations = Metrics.counter "search.iterations"
+let m_retried = Metrics.counter "search.retried"
+let m_quarantined = Metrics.counter "search.quarantined"
 
 type mode =
   | Min_latency of { mem_limit : int }
@@ -153,6 +161,83 @@ type result = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Stats export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sim_hit_rate (st : stats) =
+  let total = st.n_sim_hit + st.n_sim_miss in
+  if total = 0 then 0.0 else float_of_int st.n_sim_hit /. float_of_int total
+
+let stats_json (st : stats) : Json.t =
+  Json.Obj
+    [
+      ("iterations", Json.Int st.iterations);
+      ("n_transform", Json.Int st.n_transform);
+      ("t_transform", Json.Float st.t_transform);
+      ("n_sched", Json.Int st.n_sched);
+      ("t_sched", Json.Float st.t_sched);
+      ("n_simul", Json.Int st.n_simul);
+      ("t_simul", Json.Float st.t_simul);
+      ("n_hash", Json.Int st.n_hash);
+      ("t_hash", Json.Float st.t_hash);
+      ("n_filtered", Json.Int st.n_filtered);
+      ("n_sim_hit", Json.Int st.n_sim_hit);
+      ("n_sim_miss", Json.Int st.n_sim_miss);
+      ("sim_hit_rate", Json.Float (sim_hit_rate st));
+      ("n_bound_calls", Json.Int st.n_bound_calls);
+      ("t_bound", Json.Float st.t_bound);
+      ("n_pruned_lb", Json.Int st.n_pruned_lb);
+      ("n_retried", Json.Int st.n_retried);
+      ("n_quarantined", Json.Int st.n_quarantined);
+      ("n_checkpoints", Json.Int st.n_checkpoints);
+      ( "domain_time",
+        Json.List
+          (Array.to_list (Array.map (fun t -> Json.Float t) st.domain_time)) );
+      ( "degrade_steps",
+        Json.List
+          (List.map
+             (fun (t, name) ->
+               Json.Obj
+                 [ ("elapsed", Json.Float t); ("step", Json.String name) ])
+             st.degrade_steps) );
+    ]
+
+(** Fig. 15 layout — counts and cumulative seconds per search phase —
+    followed by the cache, worker and resilience summary lines.  The
+    single stat renderer shared by [magis_cli optimize] and the Fig. 15
+    bench (which used to duplicate it). *)
+let pp_stats ppf (st : stats) =
+  let total =
+    st.t_transform +. st.t_sched +. st.t_simul +. st.t_hash +. st.t_bound
+  in
+  Format.fprintf ppf "%-10s %10s %10s %10s %10s %10s %10s %10s %10s@\n" ""
+    "Total" "Trans." "Sched." "Simul." "Hash" "Bound" "Filtered" "PrunedLB";
+  Format.fprintf ppf "%-10s %10d %10d %10d %10d %10d %10d %10d %10d@\n" "Count"
+    (st.n_transform + st.n_sched + st.n_simul + st.n_hash + st.n_bound_calls)
+    st.n_transform st.n_sched st.n_simul st.n_hash st.n_bound_calls
+    st.n_filtered st.n_pruned_lb;
+  Format.fprintf ppf "%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10s %10s@\n"
+    "Cost(secs)" total st.t_transform st.t_sched st.t_simul st.t_hash
+    st.t_bound "/" "/";
+  Format.fprintf ppf "Iterations: %d@\n" st.iterations;
+  Format.fprintf ppf "Simulation cache: %d hits, %d misses (%.0f%% hit rate)@\n"
+    st.n_sim_hit st.n_sim_miss
+    (100.0 *. sim_hit_rate st);
+  if Array.length st.domain_time > 0 then
+    Format.fprintf ppf "Expansion workers: %d; per-domain busy seconds: [%s]@\n"
+      (Array.length st.domain_time)
+      (String.concat "; "
+         (Array.to_list (Array.map (Printf.sprintf "%.2f") st.domain_time)));
+  if st.n_retried > 0 || st.n_quarantined > 0 then
+    Format.fprintf ppf "Resilience: %d candidate(s) retried, %d quarantined@\n"
+      st.n_retried st.n_quarantined;
+  if st.n_checkpoints > 0 then
+    Format.fprintf ppf "Checkpoints: %d written@\n" st.n_checkpoints;
+  List.iter
+    (fun (t, step) -> Format.fprintf ppf "Degraded at %.1fs: %s@\n" t step)
+    st.degrade_steps
+
+(* ------------------------------------------------------------------ *)
 (* Ordering                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -240,6 +325,10 @@ type config = {
           [time_budget] the DP budget steps down to a quarter, past 95%
           bound probes are disabled, and exhaustion returns best-so-far
           — each step recorded in [stats.degrade_steps] *)
+  profile : Profile.t option;
+      (** per-iteration telemetry sink (JSONL); [None] (the default) =
+          off.  Purely observational: excluded from the trajectory
+          fingerprint, never changes the search *)
 }
 
 let default_config =
@@ -259,6 +348,7 @@ let default_config =
     max_retries = 3;
     checkpoint = None;
     degrade = true;
+    profile = None;
   }
 
 let timed _stats fld_t fld_n f =
@@ -750,6 +840,12 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
   in
   let quarantine ~phase ~index (f : Retry.failure) =
     stats.n_quarantined <- stats.n_quarantined + 1;
+    Metrics.incr m_quarantined;
+    Trace.instant ~cat:"search"
+      ~args:
+        [ ("phase", phase); ("index", string_of_int index);
+          ("exn", Printexc.to_string f.exn) ]
+      "quarantine";
     let check =
       match f.exn with
       | Fault.Injected _ -> "injected-fault"
@@ -783,6 +879,7 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
           | Error (e, bt) when fatal e -> Printexc.raise_with_backtrace e bt
           | Error _ -> (
               stats.n_retried <- stats.n_retried + 1;
+              Metrics.incr m_retried;
               let policy =
                 { Retry.default with attempts = config.max_retries }
               in
@@ -811,6 +908,7 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
        | None -> raise Exit
        | Some s ->
            stats.iterations <- stats.iterations + 1;
+           Metrics.incr m_iterations;
            if Sys.getenv_opt "MAGIS_TRACE" <> None then
              Fmt.epr "[%d] pop mem=%.1fMB lat=%.2fms entries=%d enabled=%d stale=%b@."
                stats.iterations
@@ -830,6 +928,7 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
              else { s with ftree_stale = false }
            in
            let proposals =
+             Trace.with_span ~cat:"search" "phase-transform" @@ fun () ->
              Array.of_list
                ((if Ftree.n_entries s.ftree > 0 then
                    ftree_proposals config stats s
@@ -840,6 +939,7 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
               Hash test FIRST: duplicate graphs skip scheduling and
               simulation entirely (the Fig. 15 "Filtered" column). *)
            let hashed =
+             Trace.with_span ~cat:"search" "phase-hash" @@ fun () ->
              supervised_map ~phase:"hash"
                (fun (p : proposal) ->
                  let t0 = Unix.gettimeofday () in
@@ -889,8 +989,10 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
              bound_check_of ~prune:(eff_prune ()) mode !best
            in
            let evaluated =
+             Trace.with_span ~cat:"search" "phase-evaluate" @@ fun () ->
              supervised_map ~phase:"evaluate"
                (fun ((p : proposal), h) ->
+                 Trace.with_span ~cat:"search" "candidate" @@ fun () ->
                  let local = fresh_stats () in
                  let s' =
                    evaluate_proposal config ec local ~bound_check
@@ -903,22 +1005,63 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
            (* Phase 4 (serial, candidate order): fold worker stats and
               merge into best/queue — bit-identical to the serial loop.
               Quarantined candidates contribute nothing. *)
-           Array.iter
-             (function
-               | None -> ()
-               | Some ((s' : Mstate.t option), local) -> (
-                   merge_stats stats local;
-                   match s' with
-                   | None -> ()
-                   | Some s' ->
-                       if better_than mode s' !best then begin
-                         best := s';
-                         history :=
-                           (elapsed (), s'.peak_mem, s'.latency) :: !history
-                       end;
-                       if better_than mode ~delta:queue_delta s' !best then
-                         push s'))
-             evaluated
+           (Trace.with_span ~cat:"search" "phase-merge" @@ fun () ->
+            Array.iter
+              (function
+                | None -> ()
+                | Some ((s' : Mstate.t option), local) -> (
+                    merge_stats stats local;
+                    match s' with
+                    | None -> ()
+                    | Some s' ->
+                        if better_than mode s' !best then begin
+                          best := s';
+                          history :=
+                            (elapsed (), s'.peak_mem, s'.latency) :: !history
+                        end;
+                        if better_than mode ~delta:queue_delta s' !best then
+                          push s'))
+              evaluated);
+           (* Per-iteration telemetry, after the merge so the record
+              sees the iteration's final best and queue. *)
+           (match config.profile with
+           | None -> ()
+           | Some sink ->
+               let el = elapsed () in
+               let queue_depth =
+                 Pq.fold (fun _ l acc -> acc + List.length l) !q 0
+               in
+               let busy_frac =
+                 Array.map
+                   (fun b -> if el > 0.0 then b /. el else 0.0)
+                   (Pool.busy_time pool)
+               in
+               Profile.record sink
+                 [
+                   ("iter", Json.Int stats.iterations);
+                   ("elapsed", Json.Float el);
+                   ("queue_depth", Json.Int queue_depth);
+                   ("candidates", Json.Int (Array.length proposals));
+                   ("survivors", Json.Int (Array.length survivors));
+                   ("best_peak", Json.Int !best.peak_mem);
+                   ("best_latency", Json.Float !best.latency);
+                   ("sim_hits", Json.Int stats.n_sim_hit);
+                   ("sim_misses", Json.Int stats.n_sim_miss);
+                   ("sim_hit_rate", Json.Float (sim_hit_rate stats));
+                   ("filtered", Json.Int stats.n_filtered);
+                   ("pruned_lb", Json.Int stats.n_pruned_lb);
+                   ("retried", Json.Int stats.n_retried);
+                   ("quarantined", Json.Int stats.n_quarantined);
+                   ("t_transform", Json.Float stats.t_transform);
+                   ("t_sched", Json.Float stats.t_sched);
+                   ("t_simul", Json.Float stats.t_simul);
+                   ("t_hash", Json.Float stats.t_hash);
+                   ("t_bound", Json.Float stats.t_bound);
+                   ( "pool_busy_frac",
+                     Json.List
+                       (Array.to_list
+                          (Array.map (fun f -> Json.Float f) busy_frac)) );
+                 ])
       done
     with Exit -> ()
   in

@@ -160,9 +160,33 @@ type config = {
           [stats.degrade_steps].  Runs with effectively unlimited
           budgets never reach the thresholds, so determinism tests are
           unaffected. *)
+  profile : Magis_obs.Profile.t option;
+      (** per-iteration telemetry sink ([None], the default, = off):
+          after each iteration's merge one JSONL record is written with
+          the queue depth, candidate/survivor counts, best-so-far peak
+          and latency, cumulative cache/prune/quarantine counters,
+          per-phase seconds and per-worker busy fractions.  Purely
+          observational — excluded from the trajectory fingerprint and
+          never changes the search. *)
 }
 
 val default_config : config
+
+(** Fraction of evaluations served by the simulation cache (0 when none
+    ran). *)
+val sim_hit_rate : stats -> float
+
+(** Stats as a flat JSON object (plus [domain_time] and
+    [degrade_steps] arrays) — the payload of
+    [magis_cli optimize --stats-json]. *)
+val stats_json : stats -> Magis_obs.Json.t
+
+(** Human-readable stat block: the Fig. 15 phase table (counts and
+    cumulative seconds for transformation / scheduling / simulation /
+    hashing / bound probes) followed by cache, worker, resilience,
+    checkpoint and degradation summary lines.  Shared by
+    [magis_cli optimize] and the Fig. 15 bench. *)
+val pp_stats : Format.formatter -> stats -> unit
 
 (** Comparison key of a state under the given mode. *)
 val key : mode -> Mstate.t -> float * float

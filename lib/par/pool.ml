@@ -9,6 +9,16 @@
     caller when the batch count reaches zero. *)
 
 module Fault = Magis_resilience.Fault
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+
+(* Busy accounting uses {!Trace.now} (monotonized) rather than raw
+   [Unix.gettimeofday]: a backwards clock step must not produce a
+   negative task duration.  Each worker's cumulative busy time is
+   mirrored into a gauge so an enabled metrics run can see per-worker
+   load without calling {!busy_time}. *)
+let tasks_total = Metrics.counter "pool.tasks"
+let busy_gauge i = Metrics.gauge (Printf.sprintf "pool.busy_seconds.%d" i)
 
 exception Task_error of { index : int; exn : exn }
 
@@ -27,10 +37,11 @@ type shared = {
   queue : (int -> unit) Queue.t;  (** jobs, applied to the worker index *)
   mutable stop : bool;
   busy : float array;  (** per-worker cumulative task seconds *)
+  gauges : Metrics.gauge array;  (** mirrors [busy] when metrics are on *)
 }
 
 type t =
-  | Inline of { busy : float array }
+  | Inline of { busy : float array; gauge : Metrics.gauge }
   | Domains of {
       shared : shared;
       domains : unit Domain.t array;
@@ -51,7 +62,7 @@ let rec worker_loop (sh : shared) (widx : int) =
   end
 
 let create n =
-  if n <= 1 then Inline { busy = [| 0.0 |] }
+  if n <= 1 then Inline { busy = [| 0.0 |]; gauge = busy_gauge 0 }
   else
     let shared =
       {
@@ -61,6 +72,7 @@ let create n =
         queue = Queue.create ();
         stop = false;
         busy = Array.make n 0.0;
+        gauges = Array.init n busy_gauge;
       }
     in
     let domains =
@@ -73,7 +85,7 @@ let size = function
   | Domains { domains; _ } -> Array.length domains
 
 let busy_time = function
-  | Inline { busy } -> Array.copy busy
+  | Inline { busy; _ } -> Array.copy busy
   | Domains { shared; _ } ->
       Mutex.lock shared.lock;
       let b = Array.copy shared.busy in
@@ -101,12 +113,14 @@ let map_result t f xs =
   if n = 0 then [||]
   else
     match t with
-    | Inline { busy } ->
+    | Inline { busy; gauge } ->
         Array.map
           (fun x ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Trace.now () in
             let r = run_task f x in
-            busy.(0) <- busy.(0) +. (Unix.gettimeofday () -. t0);
+            busy.(0) <- busy.(0) +. (Trace.now () -. t0);
+            Metrics.incr tasks_total;
+            Metrics.set gauge busy.(0);
             r)
           xs
     | Domains { shared = sh; joined; _ } ->
@@ -115,15 +129,18 @@ let map_result t f xs =
         let results = Array.make n None in
         let remaining = ref n in
         let job i widx =
-          let t0 = Unix.gettimeofday () in
+          let t0 = Trace.now () in
           let r = run_task f xs.(i) in
-          let dt = Unix.gettimeofday () -. t0 in
+          let dt = Trace.now () -. t0 in
           Mutex.lock sh.lock;
           sh.busy.(widx) <- sh.busy.(widx) +. dt;
+          let total = sh.busy.(widx) in
           results.(i) <- Some r;
           decr remaining;
           if !remaining = 0 then Condition.broadcast sh.batch_done;
-          Mutex.unlock sh.lock
+          Mutex.unlock sh.lock;
+          Metrics.incr tasks_total;
+          Metrics.set sh.gauges.(widx) total
         in
         Mutex.lock sh.lock;
         for i = 0 to n - 1 do

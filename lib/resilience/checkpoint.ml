@@ -1,5 +1,11 @@
 (** Crash-safe snapshot files (see the interface for the format). *)
 
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+
+let saves_total = Metrics.counter "checkpoint.saves"
+let loads_total = Metrics.counter "checkpoint.loads"
+
 exception Incompatible of string
 
 let () =
@@ -18,6 +24,9 @@ type header = {
 }
 
 let save ~path ~version ~fingerprint payload =
+  Trace.with_span ~cat:"resilience" ~args:[ ("path", path) ] "checkpoint-save"
+  @@ fun () ->
+  Metrics.incr saves_total;
   let body = Marshal.to_string payload [] in
   let header =
     {
@@ -42,6 +51,9 @@ let save ~path ~version ~fingerprint payload =
 let incompatible fmt = Printf.ksprintf (fun s -> raise (Incompatible s)) fmt
 
 let load ~path ~version ~fingerprint =
+  Trace.with_span ~cat:"resilience" ~args:[ ("path", path) ] "checkpoint-load"
+  @@ fun () ->
+  Metrics.incr loads_total;
   if not (Sys.file_exists path) then incompatible "%s: no such file" path;
   let ic =
     try open_in_bin path

@@ -6,8 +6,19 @@
     Sleeping and raising happen outside the critical section so a slow
     fault cannot serialize other sites. *)
 
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+
 type kind = Exception | Delay of float | Nan_cost | Stall of float
 type spec = { site : string; at : int; kind : kind }
+
+let faults_fired = Metrics.counter "fault.fired"
+
+let kind_name = function
+  | Exception -> "exception"
+  | Delay _ -> "delay"
+  | Nan_cost -> "nan_cost"
+  | Stall _ -> "stall"
 
 exception Injected of string * int
 
@@ -96,6 +107,15 @@ let tick site : spec option =
               Some s)
     in
     Mutex.unlock lock;
+    (match r with
+    | None -> ()
+    | Some s ->
+        Metrics.incr faults_fired;
+        Trace.instant ~cat:"resilience"
+          ~args:
+            [ ("site", s.site); ("visit", string_of_int s.at);
+              ("kind", kind_name s.kind) ]
+          "fault-injected");
     r
   end
 

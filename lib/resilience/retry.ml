@@ -1,5 +1,11 @@
 (** Bounded retry with exponential backoff (see the interface). *)
 
+module Trace = Magis_obs.Trace
+module Metrics = Magis_obs.Metrics
+
+let retries_total = Metrics.counter "retry.attempts"
+let exhausted_total = Metrics.counter "retry.exhausted"
+
 type policy = { attempts : int; base_delay : float; multiplier : float }
 
 let default = { attempts = 3; base_delay = 0.001; multiplier = 4.0 }
@@ -23,9 +29,22 @@ let run ?(policy = default) f =
         Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
     | exception e ->
         let backtrace = Printexc.get_raw_backtrace () in
-        if execution > policy.attempts then
+        if execution > policy.attempts then begin
+          Metrics.incr exhausted_total;
+          Trace.instant ~cat:"resilience"
+            ~args:
+              [ ("attempts", string_of_int execution);
+                ("exn", Printexc.to_string e) ]
+            "retry-exhausted";
           Error { exn = e; backtrace; attempts = execution }
+        end
         else begin
+          Metrics.incr retries_total;
+          Trace.instant ~cat:"resilience"
+            ~args:
+              [ ("execution", string_of_int execution);
+                ("exn", Printexc.to_string e) ]
+            "retry";
           if policy.base_delay > 0.0 then
             Unix.sleepf
               (policy.base_delay

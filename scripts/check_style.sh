@@ -63,6 +63,15 @@ for f in $(git ls-files -- 'lib/*.ml' 'lib/**/*.ml'); do
   fi
 done
 
+# 6. lib/obs is the bottom of the dependency stack: every other library
+# may instrument through it, so it must never depend back on one of them
+# (only the compiler stdlib and unix).
+hits=$(grep -nE 'magis_[a-z]+' lib/obs/dune 2>/dev/null | grep -v 'name magis_obs')
+if [ -n "$hits" ]; then
+  fail "lib/obs/dune depends on another magis library (layering violation):"
+  echo "$hits"
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "style: clean ($(echo "$files" | wc -w) files)"
 fi

@@ -225,7 +225,11 @@ let test_chaos_transient_identity () =
     quarantined with structured diagnostics, and the search must still
     return a usable result instead of crashing. *)
 let test_chaos_persistent_quarantine () =
-  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      Trace.clear ())
+  @@ fun () ->
   let g = randnet 5 in
   Fault.observe ();
   let clean = run_with ~jobs:1 g in
@@ -234,8 +238,18 @@ let test_chaos_persistent_quarantine () =
   Fault.arm
     (Fault.burst ~site:"simulator" ~at:(max 4 (v / 3)) ~len:400
        Fault.Exception);
+  (* a chaos run under tracing must leave its marks in the event stream *)
+  Trace.enable ();
   let r = run_with ~jobs:1 g in
+  Trace.disable ();
   Fault.disarm ();
+  let names =
+    List.map (fun (e : Trace.event) -> e.name) (Trace.events ())
+  in
+  Alcotest.(check bool) "trace records quarantine instants" true
+    (List.mem "quarantine" names);
+  Alcotest.(check bool) "trace records injected faults" true
+    (List.mem "fault-injected" names);
   Alcotest.(check bool) "candidates quarantined" true
     (r.stats.n_quarantined > 0);
   Alcotest.(check bool) "injected-fault diagnostics recorded" true
