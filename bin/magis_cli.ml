@@ -16,6 +16,11 @@
       two concrete schedules;
     - [magis_cli lint-rules] — differential lint of every rewrite rule
       over the model corpus ([dune build @lint]);
+    - [magis_cli check-rules] — prove every rule's symbolic soundness
+      obligations or validate its waiver's corpus coverage (exit 1 on a
+      failed obligation, 2 on an unbacked waiver); [--interfere W] also
+      replays W's memory plan through the allocator interference
+      checker; [verify], [lint-rules] and [check-rules] accept [--json];
     - [magis_cli chaos --seed N] — fault-injection self test: a seeded
       search must survive every fault class (CI's chaos-smoke job).
 
@@ -230,7 +235,14 @@ let cmd_profile name full overhead mem_ratio budget iters jobs outdir =
       "magis: memory timeline peak %d disagrees with simulator peak %d\n"
       (Timeline.memory_max tl) sim.peak_mem;
     exit 1
-  end
+  end;
+  (* and replay the optimized schedule's memory plan through the
+     allocator interference checker *)
+  let itf =
+    Interfere.check ~size_of:acc.Ftree.size_of best.graph best.schedule
+  in
+  Fmt.pr "  interference: @[<v>%a@]@." Interfere.pp_report itf;
+  if not (Interfere.is_clean itf) then exit 1
 
 (** Chaos harness: a seeded Randnet search is run fault-free, then once
     per (site, fault kind) with a transient fault planted at a
@@ -454,14 +466,28 @@ let cmd_analyze name full =
   if Diagnostic.is_clean diags then print_endline "bound invariants clean"
   else exit 1
 
-let cmd_verify name full =
+let diags_json diags =
+  Json.List (List.map Diagnostic.to_json diags)
+
+let cmd_verify name full json =
   let w, g = load name full in
   let order = Graph.program_order g in
   let diags = Verify.graph g @ Sched_check.schedule g order in
-  Printf.printf "%s: %d operator(s), %d scheduled step(s)\n" w.name
-    (Graph.n_nodes g) (List.length order);
-  if diags = [] then print_endline "verification clean"
-  else Fmt.pr "%a@." Diagnostic.pp_report diags;
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("workload", Json.String w.name);
+              ("operators", Json.Int (Graph.n_nodes g));
+              ("steps", Json.Int (List.length order));
+              ("clean", Json.Bool (Diagnostic.is_clean diags));
+              ("diagnostics", diags_json diags) ]))
+  else begin
+    Printf.printf "%s: %d operator(s), %d scheduled step(s)\n" w.name
+      (Graph.n_nodes g) (List.length order);
+    if diags = [] then print_endline "verification clean"
+    else Fmt.pr "%a@." Diagnostic.pp_report diags
+  end;
   if not (Diagnostic.is_clean diags) then exit 1
 
 (** Hand-built graph exercising the rewrite patterns the model zoo never
@@ -505,19 +531,132 @@ let lint_corpus seeds =
   let small =
     List.filter (fun (_, g) -> Graph.n_nodes g <= 80) base
   in
-  base @ Rule_lint.fission_corpus ~max_graphs:6 small
+  base @ Rule_lint.builtin_corpus () @ Rule_lint.fission_corpus ~max_graphs:6 small
 
-let cmd_lint_rules seeds max_per_rule interp_limit =
+let cmd_lint_rules seeds max_per_rule interp_limit json =
   let corpus = lint_corpus (List.init seeds (fun i -> i + 1)) in
-  Printf.printf "corpus: %s\n%!"
-    (String.concat ", "
-       (List.map
-          (fun (name, g) -> Printf.sprintf "%s(%d)" name (Graph.n_nodes g))
-          corpus));
+  if not json then
+    Printf.printf "corpus: %s\n%!"
+      (String.concat ", "
+         (List.map
+            (fun (name, g) -> Printf.sprintf "%s(%d)" name (Graph.n_nodes g))
+            corpus));
   let rules = Taso_rules.all @ Sched_rules.all in
   let report = Rule_lint.lint ~max_per_rule ~interp_limit ~rules corpus in
-  Fmt.pr "%a@." Rule_lint.pp_report report;
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("corpus",
+               Json.List (List.map (fun (n, _) -> Json.String n) corpus));
+              ("rules", Json.Int report.Rule_lint.n_rules);
+              ("rewrites", Json.Int report.Rule_lint.n_rewrites);
+              ("errors", Json.Int report.Rule_lint.n_errors);
+              ("warnings", Json.Int report.Rule_lint.n_warnings);
+              ("diagnostics",
+               diags_json
+                 (List.concat_map
+                    (fun (e : Rule_lint.entry) -> e.diags)
+                    report.Rule_lint.entries)) ]))
+  else Fmt.pr "%a@." Rule_lint.pp_report report;
   if not (Rule_lint.is_clean report) then exit 1
+
+(* exit codes of [check-rules] (documented in the README): 1 = a
+   soundness obligation or the interference check failed, 2 = every
+   obligation holds but some waiver lacks corpus coverage *)
+let exit_unsound = 1
+let exit_unbacked_waiver = 2
+
+(** Interference probe for [check-rules --interfere]: the workload's
+    program-order baseline, plus the schedule an actual (short) memory
+    optimization produced — swap/remat output is where allocator bugs
+    would surface. *)
+let interfere_probe name budget =
+  let w = Zoo.find name in
+  let g = w.build Zoo.Quick in
+  let base = Interfere.check g (Graph.program_order g) in
+  let cache = Op_cost.create Hardware.default in
+  let config = { Search.default_config with time_budget = budget } in
+  let result = Search.optimize_memory ~config cache ~overhead:0.10 g in
+  let best = result.Search.best in
+  let acc = Ftree.accounting cache best.Mstate.graph best.Mstate.ftree in
+  let opt =
+    Interfere.check ~size_of:acc.Ftree.size_of best.Mstate.graph
+      best.Mstate.schedule
+  in
+  [ (Printf.sprintf "%s (program order)" w.name, base);
+    (Printf.sprintf "%s (optimized)" w.name, opt) ]
+
+let cmd_check_rules json interfere_wl budget =
+  let corpus = Rule_lint.builtin_corpus () in
+  let rules = Taso_rules.all @ Sched_rules.all in
+  let report = Rule_sound.check_rules ~corpus rules in
+  let probes =
+    match interfere_wl with
+    | None -> []
+    | Some name -> interfere_probe name budget
+  in
+  if json then begin
+    let entry (e : Rule_sound.entry) =
+      Json.Obj
+        (( "rule", Json.String e.rule )
+         :: (match e.status with
+            | Rule_sound.Proven n ->
+                [ ("status", Json.String "proven"); ("templates", Json.Int n) ]
+            | Rule_sound.Waived reason ->
+                [ ("status", Json.String "waived");
+                  ("reason", Json.String reason) ])
+        @ [ ("diagnostics", diags_json e.diags) ])
+    in
+    let probe (name, (r : Interfere.report)) =
+      Json.Obj
+        [ ("subject", Json.String name);
+          ("buffers", Json.Int r.Interfere.n_buffers);
+          ("arena_bytes", Json.Int r.Interfere.arena.Allocator.arena_size);
+          ("peak_live", Json.Int r.Interfere.arena.Allocator.peak_live);
+          ("clean", Json.Bool (Interfere.is_clean r));
+          ("diagnostics", diags_json r.Interfere.diags) ]
+    in
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("proven", Json.Int report.Rule_sound.n_proven);
+              ("waived", Json.Int report.Rule_sound.n_waived);
+              ("errors", Json.Int report.Rule_sound.n_errors);
+              ("warnings", Json.Int report.Rule_sound.n_warnings);
+              ("unbacked_waivers",
+               Json.List
+                 (List.map
+                    (fun r -> Json.String r)
+                    (Rule_sound.unbacked_waivers report)));
+              ("rules", Json.List (List.map entry report.Rule_sound.entries));
+              ("interference", Json.List (List.map probe probes)) ]))
+  end
+  else begin
+    Fmt.pr "%a@." Rule_sound.pp_report report;
+    List.iter
+      (fun (name, r) -> Fmt.pr "interference %s:@.  @[<v>%a@]@." name
+          Interfere.pp_report r)
+      probes
+  end;
+  let unbacked = Rule_sound.unbacked_waivers report in
+  let interfere_bad =
+    List.exists (fun (_, r) -> not (Interfere.is_clean r)) probes
+  in
+  (* unbacked waivers account for all their errors; anything beyond that
+     is a real soundness failure *)
+  let n_unbacked_errors =
+    List.length
+      (List.filter
+         (fun (d : Diagnostic.t) -> d.check = "waiver-no-coverage")
+         (Diagnostic.errors
+            (List.concat_map
+               (fun (e : Rule_sound.entry) -> e.diags)
+               report.Rule_sound.entries)))
+  in
+  if report.Rule_sound.n_errors > n_unbacked_errors || interfere_bad then
+    exit exit_unsound
+  else if unbacked <> [] then exit exit_unbacked_waiver
 
 let cmd_export name full fmt_ =
   let _, g = load name full in
@@ -680,11 +819,16 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a workload graph")
     Term.(const cmd_export $ workload $ full $ fmt_)
 
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit the report as a single JSON object on stdout.")
+
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Run the IR verifier and schedule legality checker on a workload")
-    Term.(const cmd_verify $ workload $ full)
+    Term.(const cmd_verify $ workload $ full $ json_flag)
 
 let analyze_cmd =
   let workload_opt =
@@ -715,7 +859,29 @@ let lint_rules_cmd =
   Cmd.v
     (Cmd.info "lint-rules"
        ~doc:"Differential lint of every rewrite rule over the model corpus")
-    Term.(const cmd_lint_rules $ seeds $ max_per_rule $ interp_limit)
+    Term.(const cmd_lint_rules $ seeds $ max_per_rule $ interp_limit $ json_flag)
+
+let check_rules_cmd =
+  let interfere =
+    Arg.(value & opt (some string) None
+         & info [ "interfere" ] ~docv:"WORKLOAD"
+             ~doc:"Also replay the memory plan for this workload (program \
+                   order and a short optimization) through the allocator \
+                   interference checker.")
+  in
+  let budget =
+    Arg.(value & opt float 2.0
+         & info [ "budget" ]
+             ~doc:"Search seconds for the --interfere optimization probe.")
+  in
+  Cmd.v
+    (Cmd.info "check-rules"
+       ~doc:
+         "Prove every rewrite rule's symbolic soundness obligations \
+          (output shapes, dtypes, memory delta, dependency refinement, \
+          grounding conformance) or validate its waiver's differential \
+          coverage; exit 1 on a failed obligation, 2 on an unbacked waiver")
+    Term.(const cmd_check_rules $ json_flag $ interfere $ budget)
 
 let () =
   exit
@@ -723,4 +889,5 @@ let () =
        (Cmd.group
           (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
           [ list_cmd; inspect_cmd; optimize_cmd; profile_cmd; codegen_cmd;
-            export_cmd; verify_cmd; analyze_cmd; lint_rules_cmd; chaos_cmd ]))
+            export_cmd; verify_cmd; analyze_cmd; lint_rules_cmd;
+            check_rules_cmd; chaos_cmd ]))

@@ -31,6 +31,20 @@ let errors ds = List.filter is_error ds
 let is_clean ds = not (List.exists is_error ds)
 let has_check name ds = List.exists (fun d -> d.check = name) ds
 
+let to_json d =
+  let module J = Magis_obs.Json in
+  let opt f = function None -> J.Null | Some v -> f v in
+  J.Obj
+    [
+      ("severity",
+       J.String (match d.severity with Error -> "error" | Warning -> "warning"));
+      ("pass", J.String d.pass);
+      ("check", J.String d.check);
+      ("node", opt (fun n -> J.Int n) d.node);
+      ("rule", opt (fun r -> J.String r) d.rule);
+      ("message", J.String d.message);
+    ]
+
 let pp ppf d =
   Fmt.pf ppf "%s: %s[%s]%a%a: %s"
     (match d.severity with Error -> "error" | Warning -> "warning")

@@ -40,6 +40,11 @@ val is_clean : t list -> bool
 (** Does some diagnostic of this check name appear? *)
 val has_check : string -> t list -> bool
 
+(** Structured rendering for [--json] CLI output: an object with
+    [severity], [pass], [check], [node], [rule], [message] (absent
+    options as [null]). *)
+val to_json : t -> Magis_obs.Json.t
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -24,6 +24,15 @@ let assert_bounds ?(exact = true) ~what ?size_of g ~peak () =
         (Fmt.str "%s violated the memory-bound invariant:@.%a" what
            Diagnostic.pp_report errs)
 
+let assert_interference ?strategy ~what ?size_of g order =
+  let r = Interfere.check ?strategy ?size_of g order in
+  match Diagnostic.errors r.Interfere.diags with
+  | [] -> ()
+  | errs ->
+      failwith
+        (Fmt.str "%s has allocator interference:@.%a" what
+           Diagnostic.pp_report errs)
+
 let schedule ?(what = "schedule") g order =
   if !flag then assert_state ~what g order;
   order

@@ -34,3 +34,13 @@ val assert_state : what:string -> Graph.t -> int list -> unit
 val assert_bounds :
   ?exact:bool ->
   what:string -> ?size_of:(int -> int) -> Graph.t -> peak:int -> unit -> unit
+
+(** [assert_interference ~what ?size_of g order] replays the static
+    memory plan for [g] under [order] and raises [Failure] on any
+    {!Interfere} error (overlapping live buffers, stale intervals, arena
+    overflow).  The other [Search.config.verify_states] obligation:
+    bounds say how much memory, interference says the plan realizing it
+    is consistent. *)
+val assert_interference :
+  ?strategy:Magis_cost.Allocator.strategy ->
+  what:string -> ?size_of:(int -> int) -> Graph.t -> int list -> unit

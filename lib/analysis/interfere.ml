@@ -1,0 +1,133 @@
+(** Allocator interference checker (see the interface). *)
+
+open Magis_ir
+open Magis_cost
+
+let pass = "interfere"
+
+type report = {
+  arena : Allocator.t;
+  n_buffers : int;
+  diags : Diagnostic.t list;
+}
+
+let err ?node check fmt =
+  Fmt.kstr (fun m -> Diagnostic.error ?node ~pass ~check m) fmt
+
+let warn ?node check fmt =
+  Fmt.kstr (fun m -> Diagnostic.warning ?node ~pass ~check m) fmt
+
+(** Every placement must restate the lifetime analysis: same birth/free
+    steps, same byte size.  A disagreement means the plan was laid out
+    against stale liveness, which voids the non-overlap argument. *)
+let check_against_lifetime (lt : Lifetime.t) (alloc : Allocator.t) :
+    Diagnostic.t list =
+  List.concat_map
+    (fun (p : Allocator.placement) ->
+      match Lifetime.position lt p.node with
+      | None ->
+          [ err ~node:p.node "interval-mismatch"
+              "placed buffer's node is not in the schedule" ]
+      | Some i ->
+          let birth, free = Lifetime.interval lt i in
+          (if p.birth = birth && p.free = free then []
+           else
+             [
+               err ~node:p.node "interval-mismatch"
+                 "placement live over steps [%d, %d] but liveness says [%d, \
+                  %d]"
+                 p.birth p.free birth free;
+             ])
+          @
+          if p.bytes = lt.sizes.(i) then []
+          else
+            [
+              err ~node:p.node "size-mismatch"
+                "placed %d bytes but the lifetime analysis sizes it at %d"
+                p.bytes lt.sizes.(i);
+            ])
+    alloc.placements
+
+(** Every device tensor of the schedule must have a placement. *)
+let check_coverage (lt : Lifetime.t) (alloc : Allocator.t) : Diagnostic.t list
+    =
+  Array.to_list lt.order
+  |> List.mapi (fun i v -> (i, v))
+  |> List.filter_map (fun (i, v) ->
+         if lt.sizes.(i) > 0 && Allocator.placement_of alloc v = None then
+           Some
+             (err ~node:v "missing-placement"
+                "device tensor (%d bytes) has no arena placement"
+                lt.sizes.(i))
+         else None)
+
+(** The core obligation: no two buffers with overlapping live intervals
+    may share addresses, and nothing may spill past the reported arena
+    high-water mark. *)
+let check_layout (alloc : Allocator.t) : Diagnostic.t list =
+  List.map
+    (fun ((p : Allocator.placement), (q : Allocator.placement)) ->
+      err ~node:p.node "alloc-overlap"
+        "buffers of nodes %d ([%d, %d) bytes, steps [%d, %d]) and %d ([%d, \
+         %d) bytes, steps [%d, %d]) overlap while both live"
+        p.node p.offset (p.offset + p.bytes) p.birth p.free q.node q.offset
+        (q.offset + q.bytes) q.birth q.free)
+    (Allocator.overlaps alloc)
+  @ List.filter_map
+      (fun (p : Allocator.placement) ->
+        if p.offset < 0 || p.offset + p.bytes > alloc.arena_size then
+          Some
+            (err ~node:p.node "arena-overflow"
+               "buffer [%d, %d) spills outside the arena of %d bytes"
+               p.offset (p.offset + p.bytes) alloc.arena_size)
+        else None)
+      alloc.placements
+
+(** View outputs ({!Op.is_view}) are materialized copies in this cost
+    model, but a runtime eliding them aliases the base's storage.  If
+    the base buffer is reclaimed (or separately missing) while the view
+    is still live, that eliding runtime would read reused memory — a
+    latent hazard worth a warning, not an error. *)
+let check_view_aliases (g : Graph.t) (alloc : Allocator.t) : Diagnostic.t list
+    =
+  Graph.fold
+    (fun (n : Graph.node) acc ->
+      match (Op.is_view n.op, Array.to_list n.inputs) with
+      | true, base :: _ -> (
+          match
+            ( Allocator.placement_of alloc n.id,
+              Allocator.placement_of alloc base )
+          with
+          | Some pv, Some pb when pb.free < pv.free ->
+              warn ~node:n.id "view-alias"
+                "view of node %d outlives its base (steps %d > %d): a \
+                 runtime eliding the copy would alias reclaimed memory"
+                base pv.free pb.free
+              :: acc
+          | _ -> acc)
+      | _ -> acc)
+    g []
+  |> List.rev
+
+let check_plan (g : Graph.t) (lt : Lifetime.t) (alloc : Allocator.t) :
+    Diagnostic.t list =
+  check_against_lifetime lt alloc
+  @ check_coverage lt alloc @ check_layout alloc
+  @ check_view_aliases g alloc
+
+let check ?strategy ?size_of (g : Graph.t) (schedule : int list) : report =
+  let lt = Lifetime.analyze ?size_of g schedule in
+  let alloc = Allocator.plan ?strategy lt in
+  { arena = alloc;
+    n_buffers = List.length alloc.placements;
+    diags = check_plan g lt alloc }
+
+let is_clean r = Diagnostic.errors r.diags = []
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>%d buffer(s), arena %d bytes (peak live %d, frag %.3f)"
+    r.n_buffers r.arena.Allocator.arena_size r.arena.Allocator.peak_live
+    (Allocator.fragmentation r.arena);
+  if r.diags <> [] then Fmt.pf ppf "@,%a" Diagnostic.pp_report r.diags
+  else Fmt.pf ppf "@,no interference";
+  Fmt.pf ppf "@]"

@@ -1,0 +1,48 @@
+(** Allocator interference checker.
+
+    Replays the static memory plan ({!Magis_cost.Allocator}) for a graph
+    under a schedule and proves, buffer by buffer, that the plan is
+    consistent with the lifetime analysis it was derived from:
+
+    - {b interval-mismatch / size-mismatch} — each placement's live
+      steps and byte size restate {!Magis_cost.Lifetime} exactly;
+    - {b missing-placement} — every non-zero device tensor was planned;
+    - {b alloc-overlap} — no two buffers with overlapping live intervals
+      share addresses ({!Magis_cost.Allocator.overlaps});
+    - {b arena-overflow} — no buffer spills past the arena high-water
+      mark;
+    - {b view-alias} (warning) — a view output outliving its base's
+      buffer: sound under this cost model's copy semantics, but a
+      runtime eliding the view would alias reclaimed memory.
+
+    Wired into [Search.config.verify_states] via
+    {!Hooks.assert_interference} and into [magis_cli profile] /
+    [check-rules --interfere]. *)
+
+open Magis_ir
+open Magis_cost
+
+val pass : string
+(** Diagnostic pass name, ["interfere"]. *)
+
+type report = {
+  arena : Allocator.t;  (** the plan that was checked *)
+  n_buffers : int;
+  diags : Diagnostic.t list;
+}
+
+val check :
+  ?strategy:Allocator.strategy ->
+  ?size_of:(int -> int) ->
+  Graph.t ->
+  int list ->
+  report
+
+(** Check an externally produced (or deliberately corrupted — the
+    mutation tests) plan against the liveness it claims to realize. *)
+val check_plan : Graph.t -> Lifetime.t -> Allocator.t -> Diagnostic.t list
+
+val is_clean : report -> bool
+(** No errors (warnings allowed). *)
+
+val pp_report : Format.formatter -> report -> unit

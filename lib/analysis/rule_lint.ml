@@ -231,6 +231,90 @@ let fission_corpus ?(max_graphs = 8) (corpus : (string * Graph.t) list) :
     corpus;
   List.rev !out
 
+(* ------------------------------------------------------------------ *)
+(* Built-in corpora                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Long elementwise chains with skip connections: cheap tensors whose
+    consumers sit far apart in any topological schedule.  These are the
+    subjects the D-Trans rules (remat/swap and their compound sweeps)
+    actually fire on — the zoo graphs are too shallow for the
+    distance-gated sweeps — so they back those rules' waivers with
+    differential coverage. *)
+let elementwise_corpus () : (string * Graph.t) list =
+  let sh = Shape.create [ 32; 32 ] in
+  let chain g n seed =
+    let rec go g v i =
+      if i = 0 then (g, v)
+      else
+        let g, v = Graph.add g (Op.Unary Op.Relu) [ v ] in
+        go g v (i - 1)
+    in
+    go g seed n
+  in
+  let skip =
+    let g = Graph.empty in
+    let g, x = Graph.add_input ~label:"x" g Op.Placeholder sh in
+    let g, a = Graph.add ~label:"a" g (Op.Unary Op.Exp) [ x ] in
+    let g, b = Graph.add ~label:"b" g (Op.Unary Op.Neg) [ x ] in
+    let g, c0 = Graph.add g (Op.Binary Op.Add) [ a; b ] in
+    let g, c = chain g 10 c0 in
+    let g, e1 = Graph.add g (Op.Binary Op.Add) [ c; a ] in
+    let g, _ = Graph.add g (Op.Binary Op.Add) [ e1; b ] in
+    g
+  in
+  let fork =
+    let g = Graph.empty in
+    let g, x = Graph.add_input ~label:"x" g Op.Placeholder sh in
+    let g, v = Graph.add ~label:"v" g (Op.Unary Op.Exp) [ x ] in
+    let g, w = Graph.add g (Op.Unary Op.Sqrt) [ v ] in
+    let g, c = chain g 9 w in
+    let g, _ = Graph.add g (Op.Binary Op.Mul) [ v; c ] in
+    g
+  in
+  [ ("ew-skip", skip); ("ew-fork", fork) ]
+
+(** Graphs that already contain Store/Load seams (what a prior swap
+    application leaves behind), at depths where the swap-family rules
+    both fire and invert: subjects for de-swap and the sweep rules. *)
+let swap_corpus () : (string * Graph.t) list =
+  let sh = Shape.create [ 16; 64 ] in
+  let seam g v =
+    let g, s = Graph.add g Op.Store [ v ] in
+    Graph.add g Op.Load [ s ]
+  in
+  let swapped =
+    let g = Graph.empty in
+    let g, x = Graph.add_input ~label:"x" g Op.Placeholder sh in
+    let g, a = Graph.add ~label:"a" g (Op.Unary Op.Exp) [ x ] in
+    let g, l = seam g a in
+    let rec go g v i = if i = 0 then (g, v)
+      else let g, v = Graph.add g (Op.Unary Op.Relu) [ v ] in go g v (i - 1)
+    in
+    let g, c = go g a 8 in
+    let g, _ = Graph.add g (Op.Binary Op.Add) [ c; l ] in
+    g
+  in
+  let double =
+    let g = Graph.empty in
+    let g, x = Graph.add_input ~label:"x" g Op.Placeholder sh in
+    let g, a = Graph.add ~label:"a" g (Op.Unary Op.Exp) [ x ] in
+    let g, b = Graph.add ~label:"b" g (Op.Unary Op.Neg) [ a ] in
+    let g, la = seam g a in
+    let g, lb = seam g b in
+    let rec go g v i = if i = 0 then (g, v)
+      else let g, v = Graph.add g (Op.Unary Op.Relu) [ v ] in go g v (i - 1)
+    in
+    let g, c = go g b 9 in
+    let g, e = Graph.add g (Op.Binary Op.Add) [ c; la ] in
+    let g, _ = Graph.add g (Op.Binary Op.Add) [ e; lb ] in
+    g
+  in
+  [ ("swapped", swapped); ("swapped-double", double) ]
+
+(** The union the waiver-coverage check and the CLI lint run over. *)
+let builtin_corpus () = elementwise_corpus () @ swap_corpus ()
+
 let pp_report ppf (r : report) =
   let by_rule = Hashtbl.create 16 in
   List.iter

@@ -50,7 +50,8 @@ module Fission = Magis_ftree.Fission
 module Ftree = Magis_ftree.Ftree
 module Spatial = Magis_ftree.Spatial
 
-(* static analysis: IR verifier, schedule checker, rule lint *)
+(* static analysis: IR verifier, schedule checker, rule lint, symbolic
+   rule-soundness proofs and allocator interference *)
 module Diagnostic = Magis_analysis.Diagnostic
 module Verify = Magis_analysis.Verify
 module Sched_check = Magis_analysis.Sched_check
@@ -58,6 +59,9 @@ module Rule_lint = Magis_analysis.Rule_lint
 module Liveness = Magis_analysis.Liveness
 module Membound = Magis_analysis.Membound
 module Analysis_hooks = Magis_analysis.Hooks
+module Symshape = Magis_analysis.Symshape
+module Rule_sound = Magis_analysis.Rule_sound
+module Interfere = Magis_analysis.Interfere
 
 (* transformation rules *)
 module Rule = Magis_rules.Rule

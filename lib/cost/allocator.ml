@@ -98,14 +98,34 @@ let plan ?(strategy = Best_fit) (analysis : Lifetime.t) : t =
     placements = List.rev placements;
   }
 
+(** All conflicting pairs, for diagnosis rather than a bare boolean.
+    Placements are swept in offset order, so each pair is compared only
+    while the address ranges can still overlap. *)
+let overlaps t =
+  let by_offset =
+    List.sort (fun a b -> compare (a.offset, a.bytes) (b.offset, b.bytes))
+      t.placements
+  in
+  let rec sweep acc = function
+    | [] -> acc
+    | p :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc q ->
+              if q.offset >= p.offset + p.bytes then acc
+              else if conflicts p q then (p, q) :: acc
+              else acc)
+            acc rest
+        in
+        sweep acc rest
+  in
+  List.rev (sweep [] by_offset)
+
+let placement_of t node = List.find_opt (fun p -> p.node = node) t.placements
+
 (** Sanity check used by tests: no two live-overlapping tensors share
     addresses. *)
-let is_valid t =
-  let rec pairwise = function
-    | [] -> true
-    | p :: rest -> List.for_all (fun q -> not (conflicts p q)) rest && pairwise rest
-  in
-  pairwise t.placements
+let is_valid t = overlaps t = []
 
 (** Convenience: plan a graph under a given schedule. *)
 let plan_schedule ?strategy (g : Graph.t) (schedule : int list) : t =

@@ -29,6 +29,15 @@ val fragmentation : t -> float
 val conflicts : placement -> placement -> bool
 val plan : ?strategy:strategy -> Lifetime.t -> t
 
+(** All conflicting placement pairs (overlapping lifetimes {e and}
+    address ranges), found by an offset-ordered sweep.  Empty for a
+    correct plan; the interference checker reports each pair. *)
+val overlaps : t -> (placement * placement) list
+
+(** The placement of a node's output buffer, if it was planned (zero-byte
+    tensors are not). *)
+val placement_of : t -> int -> placement option
+
 (** No two live-overlapping tensors share addresses (test hook). *)
 val is_valid : t -> bool
 

@@ -91,6 +91,51 @@ val is_view : kind -> bool
 (** Output shape from input shapes; [Error] on malformed use. *)
 val infer : kind -> Shape.t array -> (Shape.t, string) result
 
+(** Dimension domain over which {!Abstract} re-interprets shape
+    inference.  [equal]/[geq]/[div_exact] are *provability* predicates: a
+    [false]/[None] answer means "cannot prove", not "provably false" —
+    the abstract interpreter is sound but partial. *)
+module type DIM_DOMAIN = sig
+  type dim
+  type dt
+
+  val const : int -> dim
+  val add : dim -> dim -> dim
+  val sub : dim -> dim -> dim
+  val mul : dim -> dim -> dim
+
+  (** Provable equality of two extents. *)
+  val equal : dim -> dim -> bool
+
+  (** Provable [a >= b]. *)
+  val geq : dim -> dim -> bool
+
+  (** Provable exact division by a positive constant. *)
+  val div_exact : dim -> int -> dim option
+
+  val to_const : dim -> int option
+
+  (** Provable equality of two element types. *)
+  val dt_equal : dt -> dt -> bool
+end
+
+(** Shape inference re-interpreted over an abstract dimension domain:
+    instantiated with a symbolic domain (Magis_analysis.Symshape) it
+    proves inference facts for *all* extents at once; instantiated with
+    {!Int_dims} it coincides with {!infer} wherever {!infer} succeeds. *)
+module Abstract (D : DIM_DOMAIN) : sig
+  type shape = D.dim array * D.dt
+
+  val infer : kind -> shape array -> (shape, string) result
+end
+
+(** Concrete [int] instantiation of {!DIM_DOMAIN} (division is
+    provable-exact only); lets tests assert {!Abstract} agrees with
+    {!infer}. *)
+module Int_dims : sig
+  include DIM_DOMAIN with type dim = int and type dt = Shape.dtype
+end
+
 (** Floating-point work of one execution. *)
 val flops : kind -> Shape.t array -> Shape.t -> float
 

@@ -63,6 +63,24 @@ let split_dim t i n =
 
 let concat_dim t i extra = with_dim t i (t.dims.(i) + extra)
 
+(** [factorize n] is the prime factorization of [n] in ascending order
+    (with multiplicity); [factorize 1 = []].  The F-Tree's candidate
+    fission numbers and the symbolic shape domain's constant-divisibility
+    proofs are built from it. *)
+let factorize n =
+  if n <= 0 then invalid_arg "Shape.factorize: non-positive extent";
+  let rec strip n p acc =
+    if n mod p = 0 then strip (n / p) p (p :: acc) else (n, acc)
+  in
+  let rec go n p acc =
+    if n = 1 then acc
+    else if p * p > n then n :: acc
+    else
+      let n, acc = strip n p acc in
+      go n (if p = 2 then 3 else p + 2) acc
+  in
+  List.rev (go n 2 [])
+
 let pp ppf t =
   Fmt.pf ppf "%s[%a]" (dtype_name t.dtype)
     Fmt.(array ~sep:(any ",") int)

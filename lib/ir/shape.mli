@@ -39,6 +39,12 @@ val split_dim : t -> int -> int -> t
 (** [concat_dim t i extra] grows dimension [i] by [extra]. *)
 val concat_dim : t -> int -> int -> t
 
+(** Prime factorization of a positive extent, ascending, with
+    multiplicity ([factorize 1 = []]; raises [Invalid_argument] on
+    non-positive input).  Source of candidate fission numbers and of
+    constant-divisibility facts in the symbolic shape domain. *)
+val factorize : int -> int list
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val hash : t -> int64

@@ -710,7 +710,9 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
       init.schedule;
     let acc = Ftree.accounting cache init.graph init.ftree in
     Magis_analysis.Hooks.assert_bounds ~what:"initial M-state"
-      ~size_of:acc.size_of init.graph ~peak:init.peak_mem ()
+      ~size_of:acc.size_of init.graph ~peak:init.peak_mem ();
+    Magis_analysis.Hooks.assert_interference ~what:"initial M-state"
+      ~size_of:acc.size_of init.graph init.schedule
   end;
   let best = ref (match snap with Some s -> s.snap_best | None -> init) in
   let history =
@@ -1015,6 +1017,24 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
                     | None -> ()
                     | Some s' ->
                         if better_than mode s' !best then begin
+                          (* only accepted bests reach the caller, so
+                             proving their memory plan interference-free
+                             here covers every reported result without
+                             paying the allocator replay per candidate *)
+                          if config.verify_states then begin
+                            let acc =
+                              Ftree.accounting cache s'.graph s'.ftree
+                            in
+                            try
+                              Magis_analysis.Hooks.assert_interference
+                                ~what:
+                                  (Printf.sprintf
+                                     "accepted best (iteration %d)"
+                                     stats.iterations)
+                                ~size_of:acc.size_of s'.graph s'.schedule
+                            with Failure msg ->
+                              raise (Verification_failure msg)
+                          end;
                           best := s';
                           history :=
                             (elapsed (), s'.peak_mem, s'.latency) :: !history

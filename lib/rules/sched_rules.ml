@@ -8,6 +8,7 @@
 
 open Magis_ir
 module Int_set = Util.Int_set
+module S = Rule.Spec
 
 let tensor_bytes g v = Shape.size_bytes (Graph.shape g v)
 
@@ -49,6 +50,29 @@ let distance (ctx : Rule.ctx) u v =
 let swapping : Rule.t =
   {
     name = "swap";
+    spec =
+      S.Sound
+        [
+          (* the consumer survives, rewired onto a Load whose value is
+             the producer's; only the Load's device copy (m*n elements)
+             is new — the Store output lives host-side and counts 0 *)
+          {
+            S.t_name = "store-load";
+            t_sources = [ S.src ~mat:true 0 [ S.V "m"; S.V "n" ] ];
+            t_lhs = [ S.node 10 (S.Fixed (Op.Unary Op.Relu)) [ 0 ] ];
+            t_rhs =
+              [
+                S.node 20 (S.Fixed Op.Store) [ 0 ];
+                S.node ~same_as:0 21 (S.Fixed Op.Load) [ 20 ];
+                S.node 22 (S.Fixed (Op.Unary Op.Relu)) [ 21 ];
+              ];
+            t_guards = [];
+            t_keep = [ (10, 22) ];
+            t_out = [ (10, 22) ];
+            t_delta = S.Mul (S.V "m", S.V "n");
+            t_ground = [ ("m", 2); ("n", 3) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -79,6 +103,28 @@ let swapping : Rule.t =
 let de_swapping : Rule.t =
   {
     name = "de-swap";
+    spec =
+      S.Sound
+        [
+          (* inverse of swap: drop the Store/Load pair, reconnect the
+             consumer to the producer it was reading through the pair *)
+          {
+            S.t_name = "drop-store-load";
+            t_sources = [ S.src ~mat:true 0 [ S.V "m"; S.V "n" ] ];
+            t_lhs =
+              [
+                S.node 10 (S.Fixed Op.Store) [ 0 ];
+                S.node 11 (S.Fixed Op.Load) [ 10 ];
+                S.node 12 (S.Fixed (Op.Unary Op.Relu)) [ 11 ];
+              ];
+            t_rhs = [ S.node 20 (S.Fixed (Op.Unary Op.Relu)) [ 0 ] ];
+            t_guards = [];
+            t_keep = [ (12, 20) ];
+            t_out = [ (12, 20) ];
+            t_delta = S.Sub (S.K 0, S.Mul (S.V "m", S.V "n"));
+            t_ground = [ ("m", 2); ("n", 3) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -116,6 +162,36 @@ let de_swapping : Rule.t =
 let rematerialization : Rule.t =
   {
     name = "remat";
+    spec =
+      S.Sound
+        [
+          (* v = exp(x) with two consumers; the distant one (neg) moves
+             onto a recomputed copy v' = exp(x).  v -> neg is replaced
+             by v' -> neg with v' recomputing v — exactly what the
+             [same_as] clause of the refinement obligation admits *)
+          {
+            S.t_name = "detach-consumer";
+            t_sources = [ S.src 0 [ S.V "m"; S.V "n" ] ];
+            t_lhs =
+              [
+                S.node 10 (S.Fixed (Op.Unary Op.Exp)) [ 0 ];
+                S.node 11 (S.Fixed (Op.Unary Op.Relu)) [ 10 ];
+                S.node 12 (S.Fixed (Op.Unary Op.Neg)) [ 10 ];
+              ];
+            t_rhs =
+              [
+                S.node 20 (S.Fixed (Op.Unary Op.Exp)) [ 0 ];
+                S.node 21 (S.Fixed (Op.Unary Op.Relu)) [ 20 ];
+                S.node ~same_as:10 22 (S.Fixed (Op.Unary Op.Exp)) [ 0 ];
+                S.node 23 (S.Fixed (Op.Unary Op.Neg)) [ 22 ];
+              ];
+            t_guards = [];
+            t_keep = [ (10, 20); (11, 21); (12, 23) ];
+            t_out = [ (11, 21); (12, 23) ];
+            t_delta = S.Mul (S.V "m", S.V "n");
+            t_ground = [ ("m", 2); ("n", 3) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -151,6 +227,34 @@ let rematerialization : Rule.t =
 let de_rematerialization : Rule.t =
   {
     name = "de-remat";
+    spec =
+      S.Sound
+        [
+          (* two identical exp(x) nodes; the later one's consumer moves
+             onto the earlier, the duplicate disappears *)
+          {
+            S.t_name = "merge-duplicates";
+            t_sources = [ S.src 0 [ S.V "m"; S.V "n" ] ];
+            t_lhs =
+              [
+                S.node 10 (S.Fixed (Op.Unary Op.Exp)) [ 0 ];
+                S.node 11 (S.Fixed (Op.Unary Op.Exp)) [ 0 ];
+                S.node 12 (S.Fixed (Op.Unary Op.Relu)) [ 10 ];
+                S.node 13 (S.Fixed (Op.Unary Op.Neg)) [ 11 ];
+              ];
+            t_rhs =
+              [
+                S.node 20 (S.Fixed (Op.Unary Op.Exp)) [ 0 ];
+                S.node 21 (S.Fixed (Op.Unary Op.Relu)) [ 20 ];
+                S.node 22 (S.Fixed (Op.Unary Op.Neg)) [ 20 ];
+              ];
+            t_guards = [];
+            t_keep = [ (10, 20); (12, 21); (13, 22) ];
+            t_out = [ (12, 21); (13, 22) ];
+            t_delta = S.Sub (S.K 0, S.Mul (S.V "m", S.V "n"));
+            t_ground = [ ("m", 2); ("n", 3) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         (* group nodes by (op fingerprint, inputs) *)
@@ -200,6 +304,12 @@ let cheap_to_recompute g v =
 let sweep_rematerialization : Rule.t =
   {
     name = "sweep-remat";
+    spec =
+      S.Waiver
+        "compound sweep: the rewritten region is the schedule-dependent set \
+         of cheap hot tensors, with copies chained through copies — there \
+         is no fixed template; covered differentially on the elementwise \
+         and swap corpora";
     apply =
       (fun ctx g0 ->
         let targets =
@@ -259,6 +369,12 @@ let sweep_rematerialization : Rule.t =
 let sweep_swapping : Rule.t =
   {
     name = "sweep-swap";
+    spec =
+      S.Waiver
+        "compound sweep: inserts Store/Load pairs for the k largest hot \
+         tensors, a schedule- and size-dependent selection with no fixed \
+         template; covered differentially on the elementwise and swap \
+         corpora";
     apply =
       (fun ctx g0 ->
         let candidates =

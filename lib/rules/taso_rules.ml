@@ -8,6 +8,7 @@
 
 open Magis_ir
 module Int_set = Util.Int_set
+module S = Rule.Spec
 
 (* ------------------------------------------------------------------ *)
 (* A-Trans: merge parallel Dense / Matmul / Conv sharing an input      *)
@@ -83,9 +84,86 @@ let merge_group g x group =
   in
   g
 
+(** Shared spec shape of the three merge variants: [y1 = op(x, w1)],
+    [y2 = op(x, w2)] becomes one [op(x, concat(w1, w2))] followed by
+    slices along the output-feature axis.  [p]/[q] are the two weights'
+    output-feature extents throughout. *)
+let merge_template ~t_name ~op ~x_dims ~w_dims_of ~axis ~out_axis ~guards
+    ~delta ~ground =
+  let open S in
+  {
+    t_name;
+    t_sources =
+      [
+        src 0 x_dims;
+        src ~kind:Op.Weight 1 (w_dims_of (V "p"));
+        src ~kind:Op.Weight 2 (w_dims_of (V "q"));
+      ];
+    t_lhs = [ node 10 (Fixed op) [ 0; 1 ]; node 11 (Fixed op) [ 0; 2 ] ];
+    t_rhs =
+      [
+        node 20 (Fixed (Op.Concat axis)) [ 1; 2 ];
+        node 21 (Fixed op) [ 0; 20 ];
+        node ~same_as:10 22
+          (Slice_s { axis = out_axis; lo = K 0; hi = V "p" })
+          [ 21 ];
+        node ~same_as:11 23
+          (Slice_s { axis = out_axis; lo = V "p"; hi = Add (V "p", V "q") })
+          [ 21 ];
+      ];
+    t_guards = guards;
+    t_keep = [];
+    t_out = [ (10, 22); (11, 23) ];
+    t_delta = delta;
+    t_ground = ground;
+  }
+
 let merge_parallel : Rule.t =
   {
     name = "a-trans-merge";
+    spec =
+      S.Sound
+        [
+          (* y[b,p|q] = x[b,k] * w[k,p|q]; the merged operator adds
+             k*(p+q) (concat) + b*(p+q) (merged output), the slices
+             replace the removed originals one for one *)
+          merge_template ~t_name:"dense"
+            ~op:(Op.Dense { trans_w = false })
+            ~x_dims:[ S.V "b"; S.V "k" ]
+            ~w_dims_of:(fun n -> [ S.V "k"; n ])
+            ~axis:1 ~out_axis:1 ~guards:[]
+            ~delta:(S.Mul (S.Add (S.V "k", S.V "b"), S.Add (S.V "p", S.V "q")))
+            ~ground:[ ("b", 2); ("k", 3); ("p", 2); ("q", 3) ];
+          merge_template ~t_name:"matmul"
+            ~op:(Op.Matmul { trans_a = false; trans_b = false })
+            ~x_dims:[ S.V "m"; S.V "k" ]
+            ~w_dims_of:(fun n -> [ S.V "k"; n ])
+            ~axis:1 ~out_axis:1 ~guards:[]
+            ~delta:(S.Mul (S.Add (S.V "k", S.V "m"), S.Add (S.V "p", S.V "q")))
+            ~ground:[ ("m", 2); ("k", 3); ("p", 2); ("q", 3) ];
+          (* x[n,c,h,w], w[p|q,c,r,s], stride 1, no padding:
+             H' = h-r+1, W' = w-s+1 (positive by the guards); the
+             concat adds (p+q)*c*r*s, the merged output n*(p+q)*H'*W' *)
+          merge_template ~t_name:"conv2d"
+            ~op:(Op.Conv2d { stride = 1; padding = 0 })
+            ~x_dims:[ S.V "n"; S.V "c"; S.V "h"; S.V "w" ]
+            ~w_dims_of:(fun k -> [ k; S.V "c"; S.V "r"; S.V "s" ])
+            ~axis:0 ~out_axis:1
+            ~guards:[ S.Ge (S.V "h", S.V "r"); S.Ge (S.V "w", S.V "s") ]
+            ~delta:
+              (S.Mul
+                 ( S.Add (S.V "p", S.V "q"),
+                   S.Add
+                     ( S.Mul (S.V "c", S.Mul (S.V "r", S.V "s")),
+                       S.Mul
+                         ( S.V "n",
+                           S.Mul
+                             ( S.Add (S.Sub (S.V "h", S.V "r"), S.K 1),
+                               S.Add (S.Sub (S.V "w", S.V "s"), S.K 1) ) ) ) ))
+            ~ground:
+              [ ("n", 1); ("c", 2); ("h", 4); ("w", 4); ("p", 2); ("q", 3);
+                ("r", 3); ("s", 3) ];
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -124,6 +202,55 @@ let merge_parallel : Rule.t =
 let concat_of_slices : Rule.t =
   {
     name = "i-trans-concat-slice";
+    spec =
+      S.Sound
+        [
+          (* the two slices cover x[p+q, m] exactly: the concat IS x *)
+          {
+            S.t_name = "full-cover";
+            t_sources = [ S.src 0 [ S.Add (S.V "p", S.V "q"); S.V "m" ] ];
+            t_lhs =
+              [
+                S.node 10 (S.Slice_s { axis = 0; lo = S.K 0; hi = S.V "p" }) [ 0 ];
+                S.node 11
+                  (S.Slice_s { axis = 0; lo = S.V "p"; hi = S.Add (S.V "p", S.V "q") })
+                  [ 0 ];
+                S.node 12 (S.Fixed (Op.Concat 0)) [ 10; 11 ];
+              ];
+            t_rhs = [];
+            t_guards = [];
+            t_keep = [];
+            t_out = [ (12, 0) ];
+            t_delta =
+              S.Sub (S.K 0, S.Mul (S.K 2, S.Mul (S.Add (S.V "p", S.V "q"), S.V "m")));
+            t_ground = [ ("p", 2); ("q", 3); ("m", 2) ];
+          };
+          (* partial cover of x[p+q+r, m]: the concat becomes one slice *)
+          {
+            S.t_name = "partial-cover";
+            t_sources =
+              [ S.src 0 [ S.Add (S.Add (S.V "p", S.V "q"), S.V "r"); S.V "m" ] ];
+            t_lhs =
+              [
+                S.node 10 (S.Slice_s { axis = 0; lo = S.K 0; hi = S.V "p" }) [ 0 ];
+                S.node 11
+                  (S.Slice_s { axis = 0; lo = S.V "p"; hi = S.Add (S.V "p", S.V "q") })
+                  [ 0 ];
+                S.node 12 (S.Fixed (Op.Concat 0)) [ 10; 11 ];
+              ];
+            t_rhs =
+              [
+                S.node ~same_as:12 20
+                  (S.Slice_s { axis = 0; lo = S.K 0; hi = S.Add (S.V "p", S.V "q") })
+                  [ 0 ];
+              ];
+            t_guards = [];
+            t_keep = [];
+            t_out = [ (12, 20) ];
+            t_delta = S.Sub (S.K 0, S.Mul (S.Add (S.V "p", S.V "q"), S.V "m"));
+            t_ground = [ ("p", 2); ("q", 2); ("r", 1); ("m", 3) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -195,6 +322,28 @@ let concat_of_slices : Rule.t =
 let transpose_pairs : Rule.t =
   {
     name = "i-trans-transpose";
+    spec =
+      S.Sound
+        [
+          (* inverse rank-3 rotations: t2(t1(x)) = x for all extents *)
+          {
+            S.t_name = "inverse-rotation";
+            t_sources = [ S.src 0 [ S.V "a"; S.V "b"; S.V "c" ] ];
+            t_lhs =
+              [
+                S.node 10 (S.Fixed (Op.Transpose [| 1; 2; 0 |])) [ 0 ];
+                S.node 11 (S.Fixed (Op.Transpose [| 2; 0; 1 |])) [ 10 ];
+              ];
+            t_rhs = [];
+            t_guards = [];
+            t_keep = [];
+            t_out = [ (11, 0) ];
+            t_delta =
+              S.Sub
+                (S.K 0, S.Mul (S.K 2, S.Mul (S.V "a", S.Mul (S.V "b", S.V "c"))));
+            t_ground = [ ("a", 2); ("b", 3); ("c", 4) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -210,8 +359,10 @@ let transpose_pairs : Rule.t =
                          && Array.for_all2 ( = )
                               (Array.init (Array.length p1) (fun i -> p1.(p2.(i))))
                               (Array.init (Array.length p1) Fun.id) ->
-                      let keep = Int_set.of_list (Graph.outputs g) in
                       let src = (Graph.node g u).inputs.(0) in
+                      (* [src] may be left consumer-less when [n] is a
+                         sink; it carries the result, so protect it *)
+                      let keep = Int_set.add src (Int_set.of_list (Graph.outputs g)) in
                       let rewired = Graph.suc g n.id in
                       let g = Graph.redirect g ~from_:n.id ~to_:src in
                       let g = Graph.remove g n.id in
@@ -234,6 +385,35 @@ let transpose_pairs : Rule.t =
 let add_reassociate : Rule.t =
   {
     name = "i-trans-add-assoc";
+    spec =
+      S.Sound
+        [
+          (* (a + b) + c = a + (b + c); same two adds either way *)
+          {
+            S.t_name = "reassociate";
+            t_sources =
+              [
+                S.src 0 [ S.V "m"; S.V "n" ];
+                S.src 1 [ S.V "m"; S.V "n" ];
+                S.src 2 [ S.V "m"; S.V "n" ];
+              ];
+            t_lhs =
+              [
+                S.node 10 (S.Fixed (Op.Binary Op.Add)) [ 0; 1 ];
+                S.node 11 (S.Fixed (Op.Binary Op.Add)) [ 10; 2 ];
+              ];
+            t_rhs =
+              [
+                S.node 20 (S.Fixed (Op.Binary Op.Add)) [ 1; 2 ];
+                S.node ~same_as:11 21 (S.Fixed (Op.Binary Op.Add)) [ 0; 20 ];
+              ];
+            t_guards = [];
+            t_keep = [];
+            t_out = [ (11, 21) ];
+            t_delta = S.K 0;
+            t_ground = [ ("m", 2); ("n", 3) ];
+          };
+        ];
     apply =
       (fun ctx g ->
         let rewrites =
@@ -248,10 +428,13 @@ let add_reassociate : Rule.t =
                          && Rule.unfrozen ctx l ->
                       let a = (Graph.node g l).inputs.(0) in
                       let b = (Graph.node g l).inputs.(1) in
-                      let keep = Int_set.of_list (Graph.outputs g) in
                       let rewired = Graph.suc g n.id in
                       let g', bc = Graph.add g (Op.Binary Op.Add) [ b; r ] in
                       let g', abc = Graph.add g' (Op.Binary Op.Add) [ a; bc ] in
+                      (* protect the replacement: when [n] is a sink,
+                         nothing is rewired onto [abc] and pruning would
+                         otherwise sweep the new chain away with it *)
+                      let keep = Int_set.add abc (Int_set.of_list (Graph.outputs g)) in
                       let g' = Graph.redirect g' ~from_:n.id ~to_:abc in
                       let g' = Graph.remove g' n.id in
                       let g' = Graph.prune_dead ~keep g' in

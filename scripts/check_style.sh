@@ -72,6 +72,19 @@ if [ -n "$hits" ]; then
   echo "$hits"
 fi
 
+# 7. every rewrite rule declares its soundness status: each rule record
+# in the two rule modules must carry a spec field (Sound templates or an
+# explicit Waiver) for the Rule_sound verifier to discharge.  Counting
+# rule names against spec fields keeps the check syntactic but exact:
+# both appear once per rule record.
+for f in lib/rules/taso_rules.ml lib/rules/sched_rules.ml; do
+  names=$(grep -cE '^ *name = "' "$f")
+  specs=$(grep -cE '^ *spec =' "$f")
+  if [ "$names" != "$specs" ]; then
+    fail "$f: $names rule(s) but $specs spec declaration(s) — every rule must declare Sound templates or a Waiver"
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "style: clean ($(echo "$files" | wc -w) files)"
 fi

@@ -20,6 +20,9 @@ let () =
       ("incremental", Test_incremental.suite);
       ("rules", Test_rules.suite);
       ("verify", Test_verify.suite);
+      ("symshape", Test_symshape.suite);
+      ("rule-sound", Test_rule_sound.suite);
+      ("interfere", Test_interfere.suite);
       ("membound", Test_membound.suite);
       ("autodiff", Test_autodiff.suite);
       ("models", Test_models.suite);

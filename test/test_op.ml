@@ -191,9 +191,110 @@ let test_reshape_links_prefix_suffix () =
   Alcotest.(check bool) "C not linked" false
     (List.exists (fun (_, d, _) -> d = 2) links)
 
+(* ---- abstract shape inference (Op.Abstract over Op.Int_dims) ---- *)
+
+module A = Op.Abstract (Op.Int_dims)
+
+let to_abstract s = (Shape.dims s, Shape.dtype s)
+
+(** On the concrete [Int_dims] domain the abstract interpreter is a
+    prover over decidable facts: whenever it answers [Ok] the concrete
+    {!Op.infer} must agree exactly, and whenever the concrete inference
+    rejects, the abstract one must too (it never proves a false fact).
+    The one asymmetry is flooring division (conv/pool with a non-dividing
+    stride): concrete floors, abstract refuses to prove. *)
+let agree ?(expect_abstract_gap = false) op ins =
+  let concrete = Op.infer op (Array.of_list ins) in
+  let abstract = A.infer op (Array.of_list (List.map to_abstract ins)) in
+  match (concrete, abstract) with
+  | Ok s, Ok (dims, dt) ->
+      Alcotest.(check (list int))
+        (Op.name op ^ " dims")
+        (Array.to_list (Shape.dims s))
+        (Array.to_list dims);
+      Alcotest.(check string)
+        (Op.name op ^ " dtype")
+        (Shape.dtype_name (Shape.dtype s))
+        (Shape.dtype_name dt)
+  | Error _, Error _ -> ()
+  | Ok _, Error e ->
+      if not expect_abstract_gap then
+        Alcotest.failf "%s: concrete Ok but abstract cannot prove: %s"
+          (Op.name op) e
+  | Error e, Ok _ ->
+      Alcotest.failf "%s: abstract proved what concrete rejects (%s)"
+        (Op.name op) e
+
+let test_abstract_agreement () =
+  agree (Op.Matmul { trans_a = false; trans_b = false })
+    [ shape [ 3; 4 ]; shape [ 4; 5 ] ];
+  agree (Op.Matmul { trans_a = true; trans_b = true })
+    [ shape [ 4; 3 ]; shape [ 5; 4 ] ];
+  agree (Op.Dense { trans_w = false }) [ shape [ 2; 7; 4 ]; shape [ 4; 9 ] ];
+  agree Op.Dense_bwd_weight [ shape [ 2; 4 ]; shape [ 2; 9 ] ];
+  agree (Op.Batch_matmul { trans_a = false; trans_b = false })
+    [ shape [ 2; 3; 4 ]; shape [ 2; 4; 5 ] ];
+  agree (Op.Conv2d { stride = 1; padding = 0 })
+    [ shape [ 1; 3; 8; 8 ]; shape [ 4; 3; 3; 3 ] ];
+  agree (Op.Conv2d { stride = 2; padding = 1 })
+    [ shape [ 1; 3; 9; 9 ]; shape [ 4; 3; 3; 3 ] ];
+  agree (Op.Conv2d_bwd_data { stride = 2; padding = 0 })
+    [ shape [ 1; 4; 4; 4 ]; shape [ 4; 3; 2; 2 ] ];
+  agree (Op.Pool2d { p_kind = Op.P_max; kernel = 2; p_stride = 2 })
+    [ shape [ 1; 3; 8; 8 ] ];
+  agree (Op.Unary Op.Relu) [ shape [ 5; 5 ] ];
+  agree (Op.Binary Op.Add) [ shape [ 5; 5 ]; shape [ 5; 5 ] ];
+  agree (Op.Bias_add 1) [ shape [ 2; 7 ]; shape [ 7 ] ];
+  agree (Op.Softmax 1) [ shape [ 2; 7 ] ];
+  agree (Op.Reduce (Op.R_sum, [ 0 ])) [ shape [ 4; 6 ] ];
+  agree (Op.Transpose [| 1; 0 |]) [ shape [ 3; 7 ] ];
+  agree (Op.Reshape [| 6; 2 |]) [ shape [ 3; 4 ] ];
+  agree (Op.Slice { axis = 0; lo = 1; hi = 3 }) [ shape [ 4; 2 ] ];
+  agree (Op.Concat 1) [ shape [ 2; 3 ]; shape [ 2; 5 ] ];
+  agree Op.Store [ shape [ 4 ] ];
+  (* rejections must agree too *)
+  agree (Op.Matmul { trans_a = false; trans_b = false })
+    [ shape [ 3; 4 ]; shape [ 5; 5 ] ];
+  agree (Op.Binary Op.Add) [ shape [ 5; 5 ]; shape [ 5; 4 ] ];
+  agree (Op.Reshape [| 7 |]) [ shape [ 3; 4 ] ];
+  agree (Op.Slice { axis = 0; lo = 0; hi = 9 }) [ shape [ 4; 2 ] ];
+  (* the documented gap: flooring stride division *)
+  agree ~expect_abstract_gap:true
+    (Op.Conv2d { stride = 2; padding = 0 })
+    [ shape [ 1; 3; 8; 8 ]; shape [ 4; 3; 3; 3 ] ]
+
+let test_infer_edge_cases () =
+  (* size-1 extents everywhere they are legal *)
+  let s = infer_ok (Op.Matmul { trans_a = false; trans_b = false })
+      [ shape [ 1; 1 ]; shape [ 1; 1 ] ] in
+  Alcotest.(check (list int)) "1x1 matmul" [ 1; 1 ]
+    (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Slice { axis = 1; lo = 0; hi = 1 }) [ shape [ 3; 1 ] ] in
+  Alcotest.(check (list int)) "slice of size-1 axis" [ 3; 1 ]
+    (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Concat 0) [ shape [ 1; 4 ]; shape [ 1; 4 ] ] in
+  Alcotest.(check (list int)) "concat of size-1 rows" [ 2; 4 ]
+    (Array.to_list (Shape.dims s));
+  let s = infer_ok (Op.Reduce (Op.R_sum, [ 0; 1 ])) [ shape [ 2; 3 ] ] in
+  Alcotest.(check (list int)) "full reduce keeps rank 1" [ 1 ]
+    (Array.to_list (Shape.dims s));
+  (* dtype mismatches are rejected, not silently coerced *)
+  infer_err (Op.Binary Op.Add)
+    [ shape [ 4 ]; Shape.create ~dtype:Shape.BF16 [ 4 ] ];
+  infer_err (Op.Concat 0)
+    [ shape [ 2; 4 ]; Shape.create ~dtype:Shape.F16 [ 2; 4 ] ];
+  (* reshape element-count violations *)
+  infer_err (Op.Reshape [| 5; 2 |]) [ shape [ 3; 4 ] ];
+  infer_err (Op.Reshape [| 0 |]) [ shape [ 3; 4 ] ];
+  (* slices past the extent and empty ranges *)
+  infer_err (Op.Slice { axis = 0; lo = 2; hi = 2 }) [ shape [ 4 ] ];
+  infer_err (Op.Slice { axis = 1; lo = 0; hi = 2 }) [ shape [ 3; 1 ] ]
+
 let suite =
   [
     tc "matmul infer" test_matmul_infer;
+    tc "abstract/concrete agreement" test_abstract_agreement;
+    tc "infer edge cases" test_infer_edge_cases;
     tc "dense infer" test_dense_infer;
     tc "batch matmul infer" test_bmm_infer;
     tc "conv2d infer" test_conv_infer;

@@ -70,9 +70,25 @@ let test_to_string () =
   let s = Shape.create ~dtype:Shape.BF16 [ 2; 3 ] in
   Alcotest.(check string) "printing" "bf16[2,3]" (Shape.to_string s)
 
+let test_factorize () =
+  Alcotest.(check (list int)) "1" [] (Shape.factorize 1);
+  Alcotest.(check (list int)) "2" [ 2 ] (Shape.factorize 2);
+  Alcotest.(check (list int)) "12" [ 2; 2; 3 ] (Shape.factorize 12);
+  Alcotest.(check (list int)) "97 prime" [ 97 ] (Shape.factorize 97);
+  Alcotest.(check (list int)) "360" [ 2; 2; 2; 3; 3; 5 ] (Shape.factorize 360);
+  (* ascending with multiplicity, and the product reconstructs *)
+  let f = Shape.factorize 9240 in
+  Alcotest.(check (list int)) "sorted" (List.sort compare f) f;
+  Alcotest.(check int) "product" 9240 (List.fold_left ( * ) 1 f);
+  Alcotest.(check bool) "non-positive raises" true
+    (try ignore (Shape.factorize 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative raises" true
+    (try ignore (Shape.factorize (-6)); false with Invalid_argument _ -> true)
+
 let suite =
   [
     tc "create and access" test_create_and_access;
+    tc "factorize" test_factorize;
     tc "dtype sizes" test_dtype_sizes;
     tc "invalid shapes" test_invalid_shapes;
     tc "split_dim" test_split_dim;

@@ -1,0 +1,135 @@
+(** Symbolic shape domain: normal-form algebra, entailment under guards,
+    divisibility, and consistency with concrete evaluation. *)
+
+open Magis
+module S = Rule.Spec
+
+let a = Symshape.var "a"
+let b = Symshape.var "b"
+let k = Symshape.const
+let ( + ) = Symshape.add
+let ( - ) = Symshape.sub
+let ( * ) = Symshape.mul
+
+let test_normal_form () =
+  (* (a+b)*(a-b) = a^2 - b^2 *)
+  Alcotest.(check bool) "difference of squares" true
+    (Symshape.equal ((a + b) * (a - b)) ((a * a) - (b * b)));
+  Alcotest.(check bool) "commutative" true (Symshape.equal (a * b) (b * a));
+  Alcotest.(check bool) "cancellation" true
+    (Symshape.equal ((a + b) - b) a);
+  Alcotest.(check bool) "a <> b" false (Symshape.equal a b);
+  Alcotest.(check bool) "zero" true (Symshape.equal (a - a) Symshape.zero)
+
+let test_const_and_vars () =
+  Alcotest.(check (option int)) "const" (Some 6) (Symshape.to_const (k 2 * k 3));
+  Alcotest.(check (option int)) "zero const" (Some 0)
+    (Symshape.to_const Symshape.zero);
+  Alcotest.(check (option int)) "not const" None (Symshape.to_const (a + k 1));
+  Alcotest.(check (list string)) "vars" [ "a"; "b" ]
+    (Symshape.vars ((a * b) + a))
+
+let test_eval () =
+  let env = [ ("a", 5); ("b", 3) ] in
+  Alcotest.(check int) "poly eval" 19
+    (Symshape.eval ~env ((a * b) + (k 2 * b) - k 2));
+  Alcotest.(check bool) "unbound raises" true
+    (try ignore (Symshape.eval ~env:[] a); false
+     with Invalid_argument _ -> true);
+  (* of_sdim and eval agree with direct sdim arithmetic *)
+  let sd = S.Mul (S.Add (S.V "a", S.K 1), S.V "b") in
+  Alcotest.(check int) "of_sdim eval" 18
+    (Symshape.eval ~env (Symshape.of_sdim sd))
+
+let test_geq () =
+  let geq = Symshape.geq ~guards:[] in
+  Alcotest.(check bool) "a >= 1" true (geq a (k 1));
+  Alcotest.(check bool) "a+1 >= a" true (geq (a + k 1) a);
+  Alcotest.(check bool) "2a >= a" true (geq (k 2 * a) a);
+  Alcotest.(check bool) "a*b >= 1" true (geq (a * b) (k 1));
+  Alcotest.(check bool) "a >= b unprovable" false (geq a b);
+  Alcotest.(check bool) "a >= a+1 false" false (geq a (a + k 1));
+  (* a guard h >= r makes h - r + 1 >= 1 provable *)
+  let guards = [ S.Ge (S.V "h", S.V "r") ] in
+  let h = Symshape.var "h" and r = Symshape.var "r" in
+  Alcotest.(check bool) "guarded h >= r" true
+    (Symshape.geq ~guards h r);
+  Alcotest.(check bool) "guarded h+1-r >= 1" true
+    (Symshape.geq ~guards ((h + k 1) - r) (k 1));
+  Alcotest.(check bool) "still not h >= r+1" false
+    (Symshape.geq ~guards h (r + k 1))
+
+let test_divides () =
+  Alcotest.(check bool) "2 | 2ab" true
+    (Symshape.divides ~guards:[] 2 (k 2 * a * b));
+  Alcotest.(check bool) "2 | 6a+4" true
+    (Symshape.divides ~guards:[] 2 ((k 6 * a) + k 4));
+  Alcotest.(check bool) "2 | a unprovable" false
+    (Symshape.divides ~guards:[] 2 a);
+  let guards = [ S.Divides (4, S.V "a") ] in
+  Alcotest.(check bool) "guarded 2 | a" true (Symshape.divides ~guards 2 a);
+  Alcotest.(check bool) "guarded 8 | a still unprovable" false
+    (Symshape.divides ~guards 8 a);
+  Alcotest.(check bool) "guard names a, not b" false
+    (Symshape.divides ~guards 2 b)
+
+let test_div_exact_and_factors () =
+  (match Symshape.div_exact 3 (k 6 * a) with
+  | Some q -> Alcotest.(check bool) "6a/3 = 2a" true (Symshape.equal q (k 2 * a))
+  | None -> Alcotest.fail "6a/3 should divide");
+  Alcotest.(check bool) "a/2 = None" true (Symshape.div_exact 2 a = None);
+  Alcotest.(check (list int)) "const_factors 12ab+6b" [ 2; 3 ]
+    (Symshape.const_factors ((k 12 * a * b) + (k 6 * b)));
+  Alcotest.(check (list int)) "const_factors a" []
+    (Symshape.const_factors a)
+
+let test_guard_sat () =
+  let env = [ ("h", 5); ("r", 3) ] in
+  Alcotest.(check bool) "ge sat" true
+    (Symshape.guard_sat ~env (S.Ge (S.V "h", S.V "r")));
+  Alcotest.(check bool) "ge unsat" false
+    (Symshape.guard_sat ~env (S.Ge (S.V "r", S.V "h")));
+  Alcotest.(check bool) "divides sat" false
+    (Symshape.guard_sat ~env (S.Divides (2, S.V "h")));
+  Alcotest.(check bool) "divides unsat" true
+    (Symshape.guard_sat ~env:[ ("h", 6) ] (S.Divides (2, S.V "h")))
+
+(** The symbolic interpreter proves what concrete inference computes:
+    inferring with polynomial dims, then evaluating, equals inferring
+    after evaluation. *)
+let test_abstract_matches_concrete_eval () =
+  let module D = (val Symshape.dim_domain [] : Symshape.DOMAIN) in
+  let module A = Op.Abstract (D) in
+  let sym_shape dims = (Array.of_list dims, S.Dt_const Shape.F32) in
+  let env = [ ("m", 4); ("p", 2); ("q", 3) ] in
+  let m = Symshape.var "m" and p = Symshape.var "p" and q = Symshape.var "q" in
+  match
+    A.infer (Op.Concat 0)
+      [| sym_shape [ p; m ]; sym_shape [ q; m ] |]
+  with
+  | Error e -> Alcotest.failf "symbolic concat failed: %s" e
+  | Ok (dims, _) ->
+      let evaled = Array.map (Symshape.eval ~env) dims in
+      (match
+         Op.infer (Op.Concat 0)
+           [| Shape.create [ 2; 4 ]; Shape.create [ 3; 4 ] |]
+       with
+      | Error e -> Alcotest.failf "concrete concat failed: %s" e
+      | Ok s ->
+          Alcotest.(check (list int)) "concat agrees"
+            (Array.to_list (Shape.dims s))
+            (Array.to_list evaled))
+
+let tc = Helpers.tc
+
+let suite =
+  [
+    tc "normal form" test_normal_form;
+    tc "const and vars" test_const_and_vars;
+    tc "eval" test_eval;
+    tc "geq entailment" test_geq;
+    tc "divisibility" test_divides;
+    tc "div_exact / const_factors" test_div_exact_and_factors;
+    tc "guard_sat" test_guard_sat;
+    tc "symbolic infer matches concrete" test_abstract_matches_concrete_eval;
+  ]
