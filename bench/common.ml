@@ -12,9 +12,17 @@ type env = {
   budget : float;  (** seconds of search per MAGIS optimization *)
   jobs : int;  (** worker domains per search (1 = serial) *)
   iters : int;  (** iteration cap per search (CI smoke uses a tight one) *)
+  stats_json : string option;
+      (** write each experiment's deterministic counters here as a flat
+          JSON object — the artifact the CI perf-smoke job diffs
+          against [bench/baselines/] with [scripts/compare_bench.sh] *)
+  no_cheap_tier : bool;
+      (** restrict the incremental-core experiment to the exact
+          evaluation tier (skip the cheap-tier configuration) *)
 }
 
-let make_env ?(jobs = 1) ?(iters = max_int) ~full ~budget () =
+let make_env ?(jobs = 1) ?(iters = max_int) ?stats_json
+    ?(no_cheap_tier = false) ~full ~budget () =
   {
     cache = Op_cost.create Hardware.default;
     sim_cache = Sim_cache.create ();
@@ -22,7 +30,25 @@ let make_env ?(jobs = 1) ?(iters = max_int) ~full ~budget () =
     budget;
     jobs;
     iters;
+    stats_json;
+    no_cheap_tier;
   }
+
+(** Write an experiment's counters as a one-object JSON file when the
+    run asked for one ([--stats-json]).  Keys are emitted in the order
+    given; values are limited to scalars so the file diffs cleanly.
+    Timing-derived fields must be named [t_*], [wall*] or [speedup*] —
+    {!scripts/compare_bench.sh} skips those; every other field is gated
+    exactly against the checked-in baseline. *)
+let write_stats_json env (fields : (string * Json.t) list) =
+  match env.stats_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Json.to_string (Json.Obj fields)));
+      Printf.printf "[stats written to %s]\n%!" path
 
 let search_config env =
   { Search.default_config with

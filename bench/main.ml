@@ -22,6 +22,7 @@ let experiments : (string * (Common.env -> unit)) list =
     ("design", Design.run);
     ("spatial", Spatial_bench.run);
     ("par", Par_bench.run);
+    ("incr", Incr_bench.run);
     ("bounds", Bounds_bench.run);
     ("resilience", Resilience_bench.run);
   ]
@@ -31,10 +32,13 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
 
-let run_selected names full budget jobs iters trace metrics =
+let run_selected names full budget jobs iters stats_json no_cheap_tier trace
+    metrics =
   if trace <> None then Magis.Trace.enable ();
   if metrics <> None then Magis.Metrics.set_enabled true;
-  let env = Common.make_env ~jobs ~iters ~full ~budget () in
+  let env =
+    Common.make_env ~jobs ~iters ?stats_json ~no_cheap_tier ~full ~budget ()
+  in
   let selected =
     match names with
     | [] | [ "all" ] -> experiments
@@ -92,6 +96,20 @@ let iters =
   in
   Arg.(value & opt int max_int & info [ "iters" ] ~doc)
 
+let stats_json =
+  let doc =
+    "Write each experiment's deterministic counters to this file as a flat \
+     JSON object (the CI perf-smoke artifact; see scripts/compare_bench.sh)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc)
+
+let no_cheap_tier =
+  let doc =
+    "Restrict the incr experiment to the exact evaluation tier (skip the \
+     cheap-tier configuration)."
+  in
+  Arg.(value & flag & info [ "no-cheap-tier" ] ~doc)
+
 let trace =
   let doc = "Enable tracing; write a Chrome trace-event file here at exit." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc)
@@ -104,7 +122,7 @@ let cmd =
   let doc = "Regenerate the MAGIS paper's evaluation tables and figures" in
   Cmd.v
     (Cmd.info "magis-bench" ~doc)
-    Term.(const run_selected $ names $ full $ budget $ jobs $ iters $ trace
-          $ metrics)
+    Term.(const run_selected $ names $ full $ budget $ jobs $ iters
+          $ stats_json $ no_cheap_tier $ trace $ metrics)
 
 let () = exit (Cmd.eval cmd)

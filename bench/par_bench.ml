@@ -80,4 +80,22 @@ let run (env : Common.env) =
     (String.concat "; "
        (Array.to_list
           (Array.map (Printf.sprintf "%.2f") par_run.stats.domain_time)));
+  let _, serial_run, serial_wall = serial in
+  let _, warm_run, warm_wall = warm in
+  Common.write_stats_json env
+    [
+      ("par_identical", Json.Bool identical);
+      ("par_iterations", Json.Int serial_run.stats.iterations);
+      ("par_best_peak", Json.Int base.best.peak_mem);
+      ("par_serial_sim_hits", Json.Int serial_run.stats.n_sim_hit);
+      ("par_serial_sim_misses", Json.Int serial_run.stats.n_sim_miss);
+      ("par_cold_sim_hits", Json.Int par_run.stats.n_sim_hit);
+      ("par_cold_sim_misses", Json.Int par_run.stats.n_sim_miss);
+      ("par_warm_sim_hits", Json.Int warm_run.stats.n_sim_hit);
+      ("par_warm_sim_misses", Json.Int warm_run.stats.n_sim_miss);
+      (* timing keys: reported, not gated *)
+      ("wall_serial_s", Json.Float serial_wall);
+      ("wall_warm_s", Json.Float warm_wall);
+      ("speedup_warm", Json.Float (serial_wall /. warm_wall));
+    ];
   if not identical then failwith "parallel/serial best states diverged"

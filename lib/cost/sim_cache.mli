@@ -15,7 +15,13 @@
     across the expansion pool's domains; hit/miss counters are atomic
     and surface through [Search.stats] and the Fig. 15 bench output.
     [find] is a fault-injection site (["sim_cache"],
-    {!Magis_resilience.Fault}). *)
+    {!Magis_resilience.Fault}).
+
+    Entries are stored delta-encoded against the parent schedule when
+    the caller supplies one (see [add]): children of one parent share a
+    single interned copy of its schedule and store only the rewritten
+    window.  Encoding is validated by reconstruct-and-compare, so [find]
+    always returns the bit-identical schedule that was added. *)
 
 (** Cached outcome of evaluating one M-state. *)
 type value = {
@@ -43,10 +49,25 @@ val key :
     counter. *)
 val find : t -> int64 -> value option
 
-val add : t -> int64 -> value -> unit
+(** [add ?parent t k v] caches [v].  When [parent] — the schedule of the
+    state [v] was derived from — is given and [v.schedule] shares a
+    prefix/suffix with it, the entry is stored as a delta against an
+    interned copy of [parent]; otherwise (or when the delta would not be
+    smaller) it is stored in full.  Either way a later {!find} returns
+    [v.schedule] bit-identically. *)
+val add : ?parent:int list -> t -> int64 -> value -> unit
 
 (** [(hits, misses)] since creation or the last {!reset_stats}. *)
 val stats : t -> int * int
+
+(** [(full_entries, delta_entries)] stored since creation or {!clear} —
+    the compression-effectiveness counters of the [bench incr] report. *)
+val delta_stats : t -> int * int
+
+(** Approximate count of [int]s held by stored schedules (codes +
+    interned pool + hotspot lists) — the resident-footprint counter the
+    delta encoding exists to shrink. *)
+val resident_ints : t -> int
 
 val reset_stats : t -> unit
 

@@ -22,10 +22,17 @@ type t = {
 }
 
 (** Simulate [schedule] on [graph] under the fission accounting of
-    [ftree] and package the result. *)
-let evaluate ?(ftree_stale = false) (cache : Op_cost.t) (graph : Graph.t)
+    [ftree] and package the result.  [acc] lets callers that already
+    computed {!Ftree.accounting} (the search's evaluation path needs it
+    for the bound probe and the reschedule) pass it in instead of
+    recomputing. *)
+let evaluate ?(ftree_stale = false) ?acc (cache : Op_cost.t) (graph : Graph.t)
     (ftree : Ftree.t) (schedule : int list) : t =
-  let acc = Ftree.accounting cache graph ftree in
+  let acc =
+    match acc with
+    | Some a -> a
+    | None -> Ftree.accounting cache graph ftree
+  in
   let res =
     Simulator.run ~size_of:acc.size_of ~cost_of:acc.cost_of cache graph
       schedule

@@ -16,9 +16,17 @@ type t = {
   ftree_stale : bool;  (** graph changed since the F-Tree was built *)
 }
 
-(** Simulate [schedule] under the tree's fission accounting. *)
+(** Simulate [schedule] under the tree's fission accounting.  [acc]
+    reuses an accounting the caller already computed for this
+    (graph, ftree) pair. *)
 val evaluate :
-  ?ftree_stale:bool -> Op_cost.t -> Graph.t -> Ftree.t -> int list -> t
+  ?ftree_stale:bool ->
+  ?acc:Ftree.accounting ->
+  Op_cost.t ->
+  Graph.t ->
+  Ftree.t ->
+  int list ->
+  t
 
 (** Rebuild a state from a simulation-cache hit; bit-identical to
     re-evaluating, because the cache key digests every evaluation input. *)

@@ -15,6 +15,7 @@ module Int_set = Util.Int_set
 type stats = {
   interval : int * int;  (** [beg, end) window in the old schedule *)
   rescheduled : int;  (** number of nodes actually rescheduled *)
+  fallback : bool;  (** the splice failed and the whole graph was rescheduled *)
 }
 
 let extend_bound (g : Graph.t) (psi : int array) (i : int) (d : int) : int =
@@ -48,9 +49,15 @@ let get_reschedule_interval (g : Graph.t) (psi : int array)
 let reschedule ?(max_states = 20_000) ~(old_graph : Graph.t)
     ~(new_graph : Graph.t) ~(old_schedule : int list)
     ~(mutated_old : Int_set.t) ~size_of () : int list * stats =
-  let full () =
+  (* [attempted] preserves the window the splice tried before failing, so
+     callers can still see where the rewrite landed instead of the
+     meaningless whole-schedule interval the fallback used to report. *)
+  let full ?attempted () =
     let order = Reorder.schedule ~max_states ~size_of new_graph in
-    (order, { interval = (0, List.length order); rescheduled = List.length order })
+    let interval =
+      match attempted with Some w -> w | None -> (0, List.length order)
+    in
+    (order, { interval; rescheduled = List.length order; fallback = true })
   in
   let psi = Array.of_list old_schedule in
   let positions =
@@ -84,5 +91,7 @@ let reschedule ?(max_states = 20_000) ~(old_graph : Graph.t)
     in
     let order = prefix @ middle @ suffix in
     if Graph.is_valid_order new_graph order then
-      (order, { interval = (beg, end_); rescheduled = Int_set.cardinal s_new })
-    else full ()
+      ( order,
+        { interval = (beg, end_); rescheduled = Int_set.cardinal s_new;
+          fallback = false } )
+    else full ~attempted:(beg, end_) ()

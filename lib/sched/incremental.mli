@@ -7,8 +7,17 @@ open Magis_ir
 module Int_set = Util.Int_set
 
 type stats = {
-  interval : int * int;  (** [beg, end) window in the old schedule *)
+  interval : int * int;
+      (** [beg, end) window in the old schedule.  When the splice failed
+          and full scheduling ran, this is still the window that was
+          {e attempted} (or [(0, n)] when no window could be computed),
+          so callers can locate the rewrite either way. *)
   rescheduled : int;  (** number of nodes actually rescheduled *)
+  fallback : bool;
+      (** true when splicing failed (or was impossible) and the whole
+          graph was rescheduled from scratch; surfaced as the
+          [n_sched_fallback] search counter and the
+          ["search.sched_fallbacks"] metric *)
 }
 
 (** The paper's [ExtendBound] (clamped to the schedule). *)

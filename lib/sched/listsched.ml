@@ -1,0 +1,133 @@
+(** Critical-path list scheduling (see the interface).
+
+    The implementation mirrors {!Reorder.greedy_schedule}'s O((V+E) log V)
+    machinery — remaining-consumer counts deciding when a tensor dies, a
+    priority map over the ready set, re-keying only the candidates whose
+    operands were touched by the last execution — but orders the ready
+    set by descending critical-path length first and uses the memory
+    delta only to break ties, the VLIW-style priority of SNIPPETS.md
+    snippet 2. *)
+
+open Magis_ir
+module Int_set = Util.Int_set
+
+let pinned = Partition.pinned
+
+(** Longest [cost_of]-weighted path from each node to a sink, by one
+    backward pass over the reverse topological order. *)
+let critical_path ~cost_of (g : Graph.t) : (int, float) Hashtbl.t =
+  let order = Graph.topo_order g in
+  let cp = Hashtbl.create (Graph.n_nodes g) in
+  List.iter
+    (fun v ->
+      let tail =
+        List.fold_left
+          (fun acc s -> Float.max acc (Hashtbl.find cp s))
+          0.0 (Graph.suc g v)
+      in
+      Hashtbl.replace cp v (cost_of v +. tail))
+    (List.rev order);
+  cp
+
+let schedule_members ?size_of ~cost_of (g : Graph.t) (members : Int_set.t) :
+    int list =
+  let size_of =
+    match size_of with
+    | Some f -> f
+    | None -> fun v -> Magis_cost.Lifetime.default_size g v
+  in
+  let cp = critical_path ~cost_of g in
+  let module Km = Map.Make (struct
+    (* (-critical path, net memory delta, size, id): longest chain first,
+       memory-friendliest on ties, id for determinism *)
+    type t = float * int * int * int
+
+    let compare = compare
+  end) in
+  let remaining = Hashtbl.create 64 in
+  let freeable = Hashtbl.create 64 in
+  Int_set.iter
+    (fun v ->
+      let succs = Graph.succ_set g v in
+      let in_members = Int_set.filter (fun s -> Int_set.mem s members) succs in
+      Hashtbl.replace remaining v (Int_set.cardinal in_members);
+      Hashtbl.replace freeable v
+        (Int_set.cardinal in_members = Int_set.cardinal succs
+        && not (pinned g v)))
+    members;
+  let in_member_preds v =
+    List.filter (fun u -> Int_set.mem u members) (Graph.pre g v)
+  in
+  let missing = Hashtbl.create 64 in
+  Int_set.iter
+    (fun v -> Hashtbl.replace missing v (List.length (in_member_preds v)))
+    members;
+  let potential_freed v =
+    let from_preds =
+      List.fold_left
+        (fun acc u ->
+          if Hashtbl.find remaining u = 1 && Hashtbl.find freeable u then
+            acc + size_of u
+          else acc)
+        0
+        (List.sort_uniq compare (in_member_preds v))
+    in
+    if Hashtbl.find remaining v = 0 && Hashtbl.find freeable v then
+      from_preds + size_of v
+    else from_preds
+  in
+  let key v =
+    (-.Hashtbl.find cp v, size_of v - potential_freed v, size_of v, v)
+  in
+  let current_key = Hashtbl.create 64 in
+  let q = ref Km.empty in
+  let enqueue v =
+    let k = key v in
+    (match Hashtbl.find_opt current_key v with
+    | Some old -> q := Km.remove old !q
+    | None -> ());
+    Hashtbl.replace current_key v k;
+    q := Km.add k v !q
+  in
+  Int_set.iter
+    (fun v -> if Hashtbl.find missing v = 0 then enqueue v)
+    members;
+  let acc = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match Km.min_binding_opt !q with
+    | None -> continue_ := false
+    | Some (k, v) ->
+        q := Km.remove k !q;
+        Hashtbl.remove current_key v;
+        acc := v :: !acc;
+        (* consume operands: the last remaining consumer of a dying
+           tensor gets re-keyed (its net delta improved) *)
+        let touched = ref [] in
+        List.iter
+          (fun u ->
+            let r = Hashtbl.find remaining u - 1 in
+            Hashtbl.replace remaining u r;
+            if r = 1 then
+              Int_set.iter
+                (fun c ->
+                  if Hashtbl.mem current_key c then touched := c :: !touched)
+                (Graph.succ_set g u))
+          (List.sort_uniq compare (in_member_preds v));
+        List.iter
+          (fun s ->
+            if Int_set.mem s members then begin
+              let m = Hashtbl.find missing s - 1 in
+              Hashtbl.replace missing s m;
+              if m = 0 then enqueue s
+            end)
+          (Graph.suc g v);
+        List.iter (fun c -> if Hashtbl.mem current_key c then enqueue c) !touched
+  done;
+  List.rev !acc
+
+let schedule ?size_of ~cost_of (g : Graph.t) : int list =
+  let members = Int_set.of_list (Graph.node_ids g) in
+  let order = schedule_members ?size_of ~cost_of g members in
+  assert (Graph.is_valid_order g order);
+  order

@@ -1,0 +1,34 @@
+(** Critical-path list scheduling — the cheap tier of candidate
+    evaluation (SNIPPETS.md snippet 2, VLIW-style).
+
+    One dependency-based list-scheduling pass: ready operators are
+    ordered by descending critical-path length (the [cost_of]-weighted
+    longest path to a sink), with the memory-greedy
+    (net delta, size, id) key of {!Reorder.greedy_schedule} breaking
+    ties.  O((V+E) log V), no DP, no partitioning, no window
+    computation — a fraction of the exact {!Incremental.reschedule}
+    cost, at the price of a possibly worse (never invalid) schedule.
+
+    The search uses this as the first tier when [config.cheap_tier] is
+    on: every candidate is scheduled here, and only candidates that pass
+    the δ-relaxed admission test are promoted to the exact tier
+    (incremental reschedule + cached simulation).  A cheap-tier schedule
+    is always a legal topological order, so simulated peaks/latencies
+    are real — merely not as optimized as the exact tier's. *)
+
+open Magis_ir
+
+(** [schedule ?size_of ~cost_of g] orders the whole graph.  [size_of]
+    defaults to {!Magis_cost.Lifetime.default_size}[ g]; [cost_of] is
+    the per-operator latency used for critical-path lengths (pass the
+    F-Tree accounting's [cost_of] so fission splits are reflected). *)
+val schedule : ?size_of:(int -> int) -> cost_of:(int -> float) -> Graph.t -> int list
+
+(** Order a node subset (operands outside [members] are treated as
+    already executed, as in {!Reorder.schedule_members}). *)
+val schedule_members :
+  ?size_of:(int -> int) ->
+  cost_of:(int -> float) ->
+  Graph.t ->
+  Util.Int_set.t ->
+  int list

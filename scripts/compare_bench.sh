@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Diff two bench stats-JSON files (the CI perf-smoke gate).
+#
+#   bash scripts/compare_bench.sh BASELINE.json CURRENT.json [RTOL]
+#
+# Both files are flat JSON objects of scalar counters, as written by
+# `bench/main.exe <experiment> --stats-json FILE`.  The gate:
+#
+#   - keys named t_*, wall* or speedup* carry wall-clock-derived values
+#     and are skipped (reported, never gated);
+#   - integer and boolean values must match exactly — these are the
+#     deterministic search/evaluation counters;
+#   - other float values must agree within RTOL (default 0.05);
+#   - a baseline key missing from CURRENT fails (a counter silently
+#     disappearing is a regression of the instrumentation itself);
+#   - extra keys in CURRENT are ignored (new counters land first, the
+#     baseline catches up in the same PR or the next).
+#
+# Exits 0 when the gate passes, 1 with a per-key report when it fails.
+set -u
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 BASELINE.json CURRENT.json [RTOL]" >&2
+    exit 2
+fi
+
+baseline=$1
+current=$2
+rtol=${3:-0.05}
+
+for f in "$baseline" "$current"; do
+    if [ ! -f "$f" ]; then
+        echo "compare_bench: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+python3 - "$baseline" "$current" "$rtol" <<'PY'
+import json
+import sys
+
+baseline_path, current_path, rtol_s = sys.argv[1], sys.argv[2], sys.argv[3]
+rtol = float(rtol_s)
+
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(current_path) as f:
+    current = json.load(f)
+
+SKIP_PREFIXES = ("t_", "wall", "speedup")
+
+
+def skipped(key):
+    return (
+        key.startswith(SKIP_PREFIXES)
+        or "_t_" in key
+        or "_wall" in key
+        or "_speedup" in key
+    )
+
+
+failures = []
+checked = 0
+for key, want in baseline.items():
+    if skipped(key):
+        continue
+    if key not in current:
+        failures.append(f"{key}: missing from {current_path} (baseline {want!r})")
+        continue
+    got = current[key]
+    checked += 1
+    if isinstance(want, bool) or isinstance(got, bool):
+        if bool(want) != bool(got):
+            failures.append(f"{key}: {got!r} != baseline {want!r}")
+    elif isinstance(want, int) and isinstance(got, int):
+        if want != got:
+            failures.append(f"{key}: {got} != baseline {want}")
+    elif isinstance(want, (int, float)) and isinstance(got, (int, float)):
+        denom = max(abs(float(want)), 1e-12)
+        if abs(float(got) - float(want)) / denom > rtol:
+            failures.append(
+                f"{key}: {got} outside rtol {rtol} of baseline {want}"
+            )
+    else:
+        if want != got:
+            failures.append(f"{key}: {got!r} != baseline {want!r}")
+
+if failures:
+    print(f"compare_bench: {len(failures)} counter(s) regressed "
+          f"({checked} gated):")
+    for line in failures:
+        print(f"  {line}")
+    sys.exit(1)
+
+print(f"compare_bench: OK ({checked} counters gated, "
+      f"{len(baseline) - checked} timing keys skipped)")
+PY

@@ -87,3 +87,11 @@ let valid_order_of g order = Alcotest.(check bool) "valid order" true
     (Graph.is_valid_order g order)
 
 let tc name f = Alcotest.test_case name `Quick f
+
+(** The budgeted Table-2-style LM benchmark shared by the search-level
+    suites (small enough for bounded-iteration A/B runs, large enough
+    that every rewrite family fires). *)
+let lm_small () =
+  Transformer.build_lm
+    { Transformer.batch = 8; seq_len = 32; hidden = 64; heads = 4; layers = 2;
+      vocab = 128; dtype = Shape.F32 }
