@@ -25,6 +25,7 @@ let experiments : (string * (Common.env -> unit)) list =
     ("incr", Incr_bench.run);
     ("bounds", Bounds_bench.run);
     ("resilience", Resilience_bench.run);
+    ("serve", Serve_bench.run);
   ]
 
 let write_file path contents =

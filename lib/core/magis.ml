@@ -101,3 +101,9 @@ module Microbatch = Magis_baselines.Microbatch
 module Pytorch_codegen = Magis_codegen.Pytorch
 module Export = Magis_codegen.Export
 module Program_parser = Magis_codegen.Parser
+
+(* optimization service *)
+module Serve_protocol = Magis_serve.Protocol
+module Serve_server = Magis_serve.Server
+module Serve_client = Magis_serve.Client
+module Serve_loadgen = Magis_serve.Loadgen

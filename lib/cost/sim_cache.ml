@@ -168,6 +168,10 @@ let add ?parent t k v =
     }
 
 let stats t = (Atomic.get t.hits, Atomic.get t.misses)
+
+let hit_rate t =
+  let h, m = stats t in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
 let delta_stats t = (Atomic.get t.fulls, Atomic.get t.deltas)
 let resident_ints t = Atomic.get t.resident
 

@@ -60,6 +60,11 @@ val add : ?parent:int list -> t -> int64 -> value -> unit
 (** [(hits, misses)] since creation or the last {!reset_stats}. *)
 val stats : t -> int * int
 
+(** [hits / (hits + misses)] since creation or the last {!reset_stats}
+    (0 when no lookup ran) — the cross-request effectiveness number a
+    shared cache ({!Magis_serve}, [bench serve]) reports. *)
+val hit_rate : t -> float
+
 (** [(full_entries, delta_entries)] stored since creation or {!clear} —
     the compression-effectiveness counters of the [bench incr] report. *)
 val delta_stats : t -> int * int

@@ -92,7 +92,7 @@ let to_string v =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type cursor = { src : string; mutable pos : int }
+type cursor = { src : string; mutable pos : int; max_depth : int }
 
 let fail c fmt =
   Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.pos m))) fmt
@@ -201,7 +201,9 @@ let parse_number c =
         | Some f -> Float f
         | None -> fail c "invalid number %s" s)
 
-let rec parse_value c =
+let rec parse_value depth c =
+  if depth > c.max_depth then
+    fail c "nesting deeper than %d levels" c.max_depth;
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"
@@ -218,7 +220,7 @@ let rec parse_value c =
       end
       else
         let rec items acc =
-          let v = parse_value c in
+          let v = parse_value (depth + 1) c in
           skip_ws c;
           match peek c with
           | Some ',' ->
@@ -243,7 +245,7 @@ let rec parse_value c =
           let k = parse_string c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value (depth + 1) c in
           skip_ws c;
           match peek c with
           | Some ',' ->
@@ -258,9 +260,18 @@ let rec parse_value c =
   | Some ('-' | '0' .. '9') -> parse_number c
   | Some ch -> fail c "unexpected character %c" ch
 
-let of_string s =
-  let c = { src = s; pos = 0 } in
-  let v = parse_value c in
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) ?max_len s =
+  (match max_len with
+  | Some limit when String.length s > limit ->
+      raise
+        (Parse_error
+           (Printf.sprintf "document of %d bytes exceeds the %d-byte limit"
+              (String.length s) limit))
+  | _ -> ());
+  let c = { src = s; pos = 0; max_depth } in
+  let v = parse_value 0 c in
   skip_ws c;
   if c.pos <> String.length s then fail c "trailing garbage";
   v

@@ -32,9 +32,23 @@ val to_string : t -> string
 (** Same, appending to an existing buffer. *)
 val to_buffer : Buffer.t -> t -> unit
 
+(** Nesting-depth cap applied by {!of_string} when none is given: deep
+    enough for any artifact this codebase emits, shallow enough that a
+    hostile [[[[…] document raises {!Parse_error} long before the
+    recursive-descent parser can exhaust the stack. *)
+val default_max_depth : int
+
 (** Strict parse of a complete JSON document (trailing garbage is an
-    error).  Raises {!Parse_error}. *)
-val of_string : string -> t
+    error).  Raises {!Parse_error}.
+
+    The parser is used on adversarial input (the {!Magis_serve} wire
+    protocol), so it enforces two resource limits with a structured
+    error instead of undefined behaviour: [max_depth] bounds
+    list/object nesting (default {!default_max_depth}) and [max_len]
+    rejects documents longer than the given byte count before any
+    parsing work ([None], the default, accepts any length — large
+    trusted artifacts like Chrome traces are parsed back in tests). *)
+val of_string : ?max_depth:int -> ?max_len:int -> string -> t
 
 (** Field lookup on an object ([None] on other constructors). *)
 val member : string -> t -> t option

@@ -420,6 +420,12 @@ type config = {
       (** per-iteration telemetry sink (JSONL); [None] (the default) =
           off.  Purely observational: excluded from the trajectory
           fingerprint, never changes the search *)
+  cancel : unit -> bool;
+      (** cooperative cancellation hook, polled at every expansion
+          boundary alongside {!Magis_resilience.Interrupt.requested}:
+          returning [true] makes the run checkpoint (if configured) and
+          return best-so-far with [interrupted] set.  A server maps
+          client disconnects onto this.  Default: [fun () -> false]. *)
 }
 
 let default_config =
@@ -442,6 +448,7 @@ let default_config =
     checkpoint = None;
     degrade = true;
     profile = None;
+    cancel = (fun () -> false);
   }
 
 let timed _stats fld_t fld_n f =
@@ -1115,7 +1122,7 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
     try
       while elapsed () < config.time_budget
             && stats.iterations < config.max_iterations do
-       if Interrupt.requested () then begin
+       if Interrupt.requested () || config.cancel () then begin
          interrupted := true;
          raise Exit
        end;

@@ -211,6 +211,14 @@ type config = {
           per-phase seconds and per-worker busy fractions.  Purely
           observational — excluded from the trajectory fingerprint and
           never changes the search. *)
+  cancel : unit -> bool;
+      (** cooperative cancellation hook, polled at every expansion
+          boundary alongside {!Magis_resilience.Interrupt.requested}:
+          returning [true] makes the run checkpoint (if configured) and
+          return best-so-far with [interrupted] set.  {!Magis_serve}
+          maps client disconnects and deadline overruns onto this; the
+          default never cancels.  Excluded from the trajectory
+          fingerprint (it carries no search-relevant state). *)
 }
 
 val default_config : config

@@ -29,7 +29,9 @@ let () =
                 site visit)
     | _ -> None)
 
-let sites = [ "op_cost"; "simulator"; "sim_cache"; "pool_worker" ]
+let sites =
+  [ "op_cost"; "simulator"; "sim_cache"; "pool_worker"; "sock_read";
+    "sock_write" ]
 
 type state = {
   plan : (string * int, kind) Hashtbl.t;

@@ -44,7 +44,10 @@ exception Injected of string * int
 
 (** The instrumented sites of this codebase (other components may add
     their own): operator-cost queries, simulator runs, simulation-cache
-    lookups, and pool worker task dispatch. *)
+    lookups, pool worker task dispatch, and the {!Magis_serve}
+    connection layer's socket reads/writes ([sock_read]/[sock_write],
+    where [Delay] models a slow client, [Stall] a slow-loris one and
+    [Exception] a torn connection). *)
 val sites : string list
 
 (** [arm specs] plants the given faults and starts counting site visits

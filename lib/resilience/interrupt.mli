@@ -1,23 +1,42 @@
-(** Cooperative SIGINT/SIGTERM handling.
+(** Cooperative SIGINT/SIGTERM handling, composable with a daemon.
 
     Long-running searches must not lose their explored frontier to a
-    ctrl-C or an orchestrator's TERM: {!with_guard} installs handlers
-    that only record the signal, the search loop polls {!requested} at
-    iteration boundaries, writes its checkpoint and returns best-so-far.
-    The previous signal dispositions are restored on exit, so guarding a
-    search never changes the behaviour of the embedding process outside
-    the guarded region. *)
+    ctrl-C or an orchestrator's TERM: the process-wide handler only
+    records the signal, the search loop polls {!requested} at iteration
+    boundaries, writes its checkpoint and returns best-so-far.
 
-(** Run [f] with SIGINT and SIGTERM redirected to a flag readable
-    through {!requested}.  Restores the previous handlers and clears the
-    flag afterwards, even when [f] raises.  On platforms without these
-    signals the function is just [f ()]. *)
+    Handlers are installed once per process and left installed — a
+    persistent service ({!Magis_serve}) and the guarded searches running
+    inside it must share one disposition, so nothing is restored on
+    guard exit.  Multiple threads may hold guards concurrently: the
+    pending flag is cleared only when the outermost guard enters or
+    exits.  Independent observers (an accept loop, a drain sequencer)
+    register {!on_signal} callbacks instead of polling. *)
+
+(** Install the shared SIGINT/SIGTERM handler.  Idempotent; safe to
+    call again after embedding code replaced the disposition.  On
+    platforms without these signals it does nothing. *)
+val install : unit -> unit
+
+(** [on_signal f] registers [f] to run (with the signal number) each
+    time a handled signal arrives, and installs the handler.  Returns
+    the unregister function.  Callbacks run inside the signal handler
+    at an arbitrary safe point: keep them tiny (set a flag, write a
+    byte) — exceptions they raise are swallowed. *)
+val on_signal : (int -> unit) -> unit -> unit
+
+(** Run [f] with signals redirected to a flag readable through
+    {!requested}.  Guards refcount: the flag is cleared when the
+    outermost guard enters and again when it exits (even when [f]
+    raises), so concurrent guarded searches all observe one signal and
+    a stray signal between runs poisons nothing. *)
 val with_guard : (unit -> 'a) -> 'a
 
-(** Has a guarded signal arrived since {!with_guard} started? *)
+(** Has a signal arrived since the outermost {!with_guard} started?
+    Only raised while at least one guard is active. *)
 val requested : unit -> bool
 
-(** Name of the most recent guarded signal (["SIGINT"] / ["SIGTERM"]),
+(** Name of the most recent handled signal (["SIGINT"] / ["SIGTERM"]),
     if any ever arrived.  Unlike {!requested}, this survives the end of
     the guarded region, so a caller can still name the signal after the
     interrupted computation returned. *)

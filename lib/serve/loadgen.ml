@@ -1,0 +1,238 @@
+(** Load generator and chaos harness (see the interface). *)
+
+module P = Protocol
+
+type load_report = {
+  sent : int;
+  completed : int;
+  overloaded : int;
+  deadline : int;
+  errors : int;
+  p50_ms : float;
+  p99_ms : float;
+  rejection_rate : float;
+  cache_hit_rate : float;
+  wall_s : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+type client_tally = {
+  mutable c_sent : int;
+  mutable c_done : int;
+  mutable c_over : int;
+  mutable c_dead : int;
+  mutable c_err : int;
+  mutable c_lat : float list;  (** seconds per completed request *)
+}
+
+let run_load ~addr ~clients ~per_client ~models ?(max_iterations = 8)
+    ?deadline_s ?(progress_every = 0) () =
+  let t0 = Unix.gettimeofday () in
+  let one_client ci =
+    let tally =
+      { c_sent = 0; c_done = 0; c_over = 0; c_dead = 0; c_err = 0; c_lat = [] }
+    in
+    (match Client.connect addr with
+    | exception _ -> ()
+    | c ->
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        for r = 0 to per_client - 1 do
+          let model = List.nth models ((ci + r) mod List.length models) in
+          let req =
+            {
+              (P.request ~id:(Printf.sprintf "load-c%d-r%d" ci r) ~model) with
+              max_iterations;
+              deadline_s;
+              progress_every;
+            }
+          in
+          tally.c_sent <- tally.c_sent + 1;
+          let tr0 = Unix.gettimeofday () in
+          match Client.optimize c req with
+          | exception _ -> tally.c_err <- tally.c_err + 1
+          | P.Result o ->
+              tally.c_done <- tally.c_done + 1;
+              if o.o_deadline_hit then tally.c_dead <- tally.c_dead + 1;
+              tally.c_lat <- (Unix.gettimeofday () -. tr0) :: tally.c_lat
+          | P.Error { kind = P.Overloaded; _ } ->
+              tally.c_over <- tally.c_over + 1
+          | P.Error { kind = P.Deadline; _ } ->
+              tally.c_dead <- tally.c_dead + 1
+          | _ -> tally.c_err <- tally.c_err + 1
+        done);
+    tally
+  in
+  let tallies =
+    Array.init clients (fun ci -> Domain.spawn (fun () -> one_client ci))
+    |> Array.map Domain.join
+  in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let sent = sum (fun t -> t.c_sent)
+  and completed = sum (fun t -> t.c_done)
+  and overloaded = sum (fun t -> t.c_over)
+  and deadline = sum (fun t -> t.c_dead)
+  and errors = sum (fun t -> t.c_err) in
+  let lat =
+    Array.of_list
+      (List.concat_map (fun t -> t.c_lat) (Array.to_list tallies))
+  in
+  Array.sort compare lat;
+  let cache_hit_rate =
+    match Client.connect ~retries:5 addr with
+    | exception _ -> 0.0
+    | c ->
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        (Client.health c).cache_hit_rate
+  in
+  {
+    sent;
+    completed;
+    overloaded;
+    deadline;
+    errors;
+    p50_ms = percentile lat 0.50 *. 1000.0;
+    p99_ms = percentile lat 0.99 *. 1000.0;
+    rejection_rate =
+      (if sent = 0 then 0.0
+       else float_of_int (overloaded + deadline + errors) /. float_of_int sent);
+    cache_hit_rate;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type chaos_report = {
+  scenarios : (string * bool) list;
+  passed : int;
+  failed : int;
+}
+
+(* After every adversarial act: a fresh connection must still get a
+   health reply.  This is the daemon-survives assertion. *)
+let probe addr =
+  match Client.connect ~retries:5 addr with
+  | exception _ -> false
+  | c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (try (Client.health c).status <> "" with _ -> false)
+
+let small_req ~id ~model =
+  { (P.request ~id ~model) with max_iterations = 3 }
+
+(* Garbage bytes: expect a structured [malformed] error (the daemon may
+   close the connection right after). *)
+let scenario_garbage addr rng () =
+  let len = 16 + Random.State.int rng 64 in
+  let garbage =
+    String.init len (fun _ -> Char.chr (1 + Random.State.int rng 255))
+  in
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.send_raw c (garbage ^ "\n");
+  match Client.recv c with
+  | P.Error { kind = P.Malformed; _ } -> true
+  | exception End_of_file -> true
+  | _ -> false
+
+(* A line longer than the server limit, never terminated: expect the
+   [oversized] error (or an immediate drop). *)
+let scenario_oversized addr _rng () =
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.send_raw c (String.make (P.max_request_line + 512) 'a');
+  match Client.recv c with
+  | P.Error { kind = P.Oversized; _ } -> true
+  | exception End_of_file -> true
+  | _ -> false
+
+(* Disconnect mid-stream: start a long request with progress events,
+   read one, vanish.  The daemon must cancel and keep serving. *)
+let scenario_disconnect addr _rng () =
+  let c = Client.connect addr in
+  let req =
+    {
+      (P.request ~id:"chaos-disconnect" ~model:"unet") with
+      max_iterations = 64;
+      progress_every = 1;
+    }
+  in
+  Client.send c (P.Optimize req);
+  let got_progress =
+    match Client.recv c with P.Progress _ -> true | _ -> false
+  in
+  Client.close c;
+  got_progress
+
+(* A slow client: the request arrives in two chunks with a pause in the
+   middle; the line-buffering accept loop must assemble and serve it. *)
+let scenario_slow addr _rng () =
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let line =
+    P.command_to_string (P.Optimize (small_req ~id:"chaos-slow" ~model:"unet"))
+    ^ "\n"
+  in
+  let half = String.length line / 2 in
+  Client.send_raw c (String.sub line 0 half);
+  Unix.sleepf 0.3;
+  Client.send_raw c (String.sub line half (String.length line - half));
+  match Client.recv c with
+  | P.Result o -> o.o_id = "chaos-slow"
+  | P.Progress _ -> true
+  | _ -> false
+
+(* Duplicate ids: pause dispatch so the first copy stays queued, then
+   resubmit the same id — the daemon must reject the duplicate and
+   still serve the original after resume. *)
+let scenario_duplicate addr _rng () =
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.send c P.Pause;
+  let req = small_req ~id:"chaos-dup" ~model:"unet" in
+  Client.send c (P.Optimize req);
+  Client.send c (P.Optimize req);
+  Client.send c P.Resume;
+  let dup = ref false and result = ref false and acks = ref 0 in
+  (try
+     while not (!dup && !result) && !acks < 100 do
+       match Client.recv c with
+       | P.Error { kind = P.Duplicate; _ } -> dup := true
+       | P.Result o when o.o_id = "chaos-dup" -> result := true
+       | _ -> incr acks
+     done
+   with End_of_file -> ());
+  !dup && !result
+
+let run_chaos ~addr ~seed =
+  let rng = Random.State.make [| 0xC4A05; seed |] in
+  let scenarios =
+    [
+      ("garbage", scenario_garbage addr rng);
+      ("oversized", scenario_oversized addr rng);
+      ("disconnect", scenario_disconnect addr rng);
+      ("slow", scenario_slow addr rng);
+      ("duplicate", scenario_duplicate addr rng);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, f) ->
+        let acted = try f () with _ -> false in
+        (* the scenario's own outcome AND the daemon still answering *)
+        (name, acted && probe addr))
+      scenarios
+  in
+  let passed = List.length (List.filter snd results) in
+  {
+    scenarios = results;
+    passed;
+    failed = List.length results - passed;
+  }

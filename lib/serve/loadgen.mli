@@ -1,0 +1,53 @@
+(** Load generator and chaos harness for the optimization service.
+
+    Both speak to a running daemon through {!Client} — in-process
+    (tests, [bench serve]) or across processes (the CLI and the CI
+    smoke job).  The load generator measures what the ISSUE's bench
+    acceptance asks for: latency percentiles, rejection rate and the
+    cross-request simulation-cache hit rate.  The chaos harness drives
+    the adversarial client behaviours (garbage bytes, oversized lines,
+    mid-stream disconnects, slow requests, duplicate ids) and reports,
+    per scenario, whether the daemon survived and kept answering with
+    structured replies. *)
+
+type load_report = {
+  sent : int;
+  completed : int;  (** terminal [Result] replies *)
+  overloaded : int;
+  deadline : int;  (** deadline error replies + deadline-hit results *)
+  errors : int;  (** other error replies *)
+  p50_ms : float;  (** request latency percentiles over completed *)
+  p99_ms : float;
+  rejection_rate : float;  (** (overloaded + deadline + errors) / sent *)
+  cache_hit_rate : float;  (** daemon health probe after the run *)
+  wall_s : float;
+}
+
+(** [run_load ~addr ~clients ~per_client ~models ()] drives [clients]
+    concurrent connections (one domain each), each sending
+    [per_client] optimization requests round-robin over [models] and
+    waiting for the terminal reply.  Request ids are unique per
+    (client, sequence) pair. *)
+val run_load :
+  addr:Protocol.addr ->
+  clients:int ->
+  per_client:int ->
+  models:string list ->
+  ?max_iterations:int ->
+  ?deadline_s:float ->
+  ?progress_every:int ->
+  unit ->
+  load_report
+
+type chaos_report = {
+  scenarios : (string * bool) list;  (** scenario name, survived+answered *)
+  passed : int;
+  failed : int;
+}
+
+(** Run the client-side chaos scenarios against a live daemon, seeded
+    for reproducible garbage.  Every scenario ends with a fresh-
+    connection health probe; a scenario passes only when the adversarial
+    behaviour produced the expected structured reaction and the daemon
+    still answers. *)
+val run_chaos : addr:Protocol.addr -> seed:int -> chaos_report

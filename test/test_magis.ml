@@ -32,6 +32,7 @@ let () =
       ("search", Test_search.suite);
       ("par", Test_par.suite);
       ("resilience", Test_resilience.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_props.suite);
       ("codegen", Test_codegen.suite);

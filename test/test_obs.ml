@@ -72,6 +72,84 @@ let test_json_parse_errors () =
     | Json.Float _ -> true
     | _ -> false)
 
+let test_json_resource_limits () =
+  (* A document nested deeper than the cap must raise a structured
+     error, not blow the stack: build one 4x deeper than the default. *)
+  let depth = 4 * Json.default_max_depth in
+  let deep =
+    String.make depth '[' ^ "1" ^ String.make depth ']'
+  in
+  (match Json.of_string deep with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "hostile nesting accepted");
+  (* same for objects *)
+  let deep_obj =
+    let b = Buffer.create (8 * depth) in
+    for _ = 1 to depth do Buffer.add_string b "{\"k\":" done;
+    Buffer.add_string b "0";
+    for _ = 1 to depth do Buffer.add_char b '}' done;
+    Buffer.contents b
+  in
+  (match Json.of_string deep_obj with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "hostile object nesting accepted");
+  (* a custom cap applies: depth 3 is fine at the default, rejected at 2 *)
+  Alcotest.(check bool) "shallow doc passes default cap" true
+    (Json.of_string "[[[1]]]" = Json.List [ Json.List [ Json.List [ Json.Int 1 ] ] ]);
+  (match Json.of_string ~max_depth:2 "[[[1]]]" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "max_depth:2 accepted depth-3 document");
+  (* max_len rejects before parsing; at the limit it parses *)
+  (match Json.of_string ~max_len:4 "[1,2,3]" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "over-length document accepted");
+  Alcotest.(check bool) "document at the length limit parses" true
+    (Json.of_string ~max_len:7 "[1,2,3]" = Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ])
+
+(* Seeded fuzz: random values must survive emit→parse bit-identically,
+   and random byte soup must either parse or raise [Parse_error] — any
+   other exception (stack overflow, [Invalid_argument], …) is a bug in
+   the parser's input validation. *)
+let test_json_fuzz () =
+  let rng = Random.State.make [| 0x0b5; 9 |] in
+  let rand_string () =
+    String.init (Random.State.int rng 12) (fun _ ->
+        Char.chr (Random.State.int rng 256))
+  in
+  let rec rand_value depth =
+    match Random.State.int rng (if depth >= 4 then 5 else 7) with
+    | 0 -> Json.Null
+    | 1 -> Json.Bool (Random.State.bool rng)
+    | 2 -> Json.Int (Random.State.int rng 10_000 - 5_000)
+    | 3 ->
+        (* finite floats only: non-finite deliberately emit as null *)
+        Json.Float (Random.State.float rng 1e6 -. 5e5)
+    | 4 -> Json.String (rand_string ())
+    | 5 ->
+        Json.List
+          (List.init (Random.State.int rng 4) (fun _ -> rand_value (depth + 1)))
+    | _ ->
+        Json.Obj
+          (List.init (Random.State.int rng 4) (fun i ->
+               (Printf.sprintf "k%d" i, rand_value (depth + 1))))
+  in
+  for _ = 1 to 500 do
+    let v = rand_value 0 in
+    let s = Json.to_string v in
+    if Json.of_string s <> v then
+      Alcotest.failf "round-trip changed %s" s
+  done;
+  for _ = 1 to 2_000 do
+    let s = String.init (Random.State.int rng 64) (fun _ ->
+        Char.chr (Random.State.int rng 256))
+    in
+    match Json.of_string ~max_depth:32 ~max_len:64 s with
+    | _ -> ()
+    | exception Json.Parse_error _ -> ()
+    | exception e ->
+        Alcotest.failf "parser leaked %s on %S" (Printexc.to_string e) s
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -375,6 +453,9 @@ let suite =
   [
     tc "json values round-trip through the parser" test_json_roundtrip;
     tc "json parser rejects malformed documents" test_json_parse_errors;
+    tc "json parser enforces depth and length limits"
+      test_json_resource_limits;
+    tc "json fuzz: round-trip and parse-or-reject" test_json_fuzz;
     tc "monotonized clock never goes backwards" test_clock_monotonic;
     tc "spans nest and complete in order" test_span_nesting_and_ordering;
     tc "ring buffer overflow keeps the newest events"

@@ -186,7 +186,15 @@ let test_chaos_transient_identity () =
   let g = randnet 5 in
   Fault.observe ();
   let clean = run_with ~jobs:1 g in
-  let visits = List.map (fun s -> (s, Fault.visits s)) Fault.sites in
+  let visits =
+    (* sites the search never reaches (e.g. the socket-layer sites,
+       exercised by test_serve instead) cannot fire here *)
+    List.filter_map
+      (fun s ->
+        let v = Fault.visits s in
+        if v = 0 then None else Some (s, v))
+      Fault.sites
+  in
   Fault.disarm ();
   Alcotest.(check (list string)) "fault-free run has no diagnostics" []
     (List.map Diagnostic.to_string clean.diagnostics);
