@@ -23,7 +23,7 @@ let variants base =
 
 let run (env : Common.env) =
   Common.hr "Design ablation: search variants (memory @ <10% overhead)";
-  let workloads = [ "BERT-base"; "UNet"; "ViT-base" ] in
+  let workloads = Zoo.ablation_trio in
   List.iter
     (fun wname ->
       let w = Zoo.find wname in

@@ -22,7 +22,7 @@ let series_of_budget_runner ~name ~base run =
   (name, points)
 
 let run (env : Common.env) =
-  let workloads = [ "ResNet-50"; "BERT-base"; "UNet"; "GPT-Neo" ] in
+  let workloads = Zoo.pareto_quad in
   List.iter
     (fun wname ->
       let w = Zoo.find wname in

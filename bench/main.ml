@@ -26,6 +26,7 @@ let experiments : (string * (Common.env -> unit)) list =
     ("bounds", Bounds_bench.run);
     ("resilience", Resilience_bench.run);
     ("serve", Serve_bench.run);
+    ("frontier", Frontier_bench.run);
   ]
 
 let write_file path contents =

@@ -134,7 +134,7 @@ let run (env : Common.env) =
   (* -------- Phase B: concurrent load ------------------------------- *)
   let rep =
     Loadgen.run_load ~addr ~clients:4 ~per_client:4
-      ~models:[ "unet"; "unet++" ] ~max_iterations:iters ()
+      ~models:Zoo.smoke_pair ~max_iterations:iters ()
   in
   Printf.printf
     "B  load 4x4: %d/%d completed, %d overloaded, %d errors, p50 %.0f ms, \

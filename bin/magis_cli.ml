@@ -668,6 +668,84 @@ let cmd_export name full fmt_ =
   | "summary" -> print_endline (Export.summary g)
   | other -> Printf.eprintf "unknown format %s (dot|text|summary)\n" other
 
+(* exit code of [frontier] (documented in the README): 5 = some
+   requested budget has no feasible point on the frontier *)
+let exit_infeasible = 5
+
+let cmd_frontier name full hw_name batch budgets cache_dir iters sched_states
+    json =
+  let w = Zoo.find name in
+  let w = match batch with None -> w | Some b -> Zoo.with_batch w ~batch:b in
+  let hw = Hardware.find hw_name in
+  let scale = if full then Zoo.Full else Zoo.Quick in
+  let graph = w.build scale in
+  let cache = Op_cost.create hw in
+  let config =
+    { Search.default_config with max_iterations = iters; sched_states }
+  in
+  let mode = Search.Min_memory { lat_limit = infinity } in
+  let fr, status =
+    Frontier_build.cached_or_build ~config ~dir:cache_dir cache mode graph
+  in
+  let budgets =
+    if budgets <> [] then budgets
+    else [ 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  let answers =
+    List.map
+      (fun ratio -> (ratio, Frontier_build.query_ratio fr ~ratio))
+      budgets
+  in
+  let searches = match status with `Hit -> 0 | `Built _ -> 1 in
+  if json then begin
+    let c = Frontier.counters fr in
+    let answer (ratio, ans) =
+      Json.Obj
+        (( "budget_ratio", Json.Float ratio )
+         :: ("budget_bytes",
+             Json.Int (Frontier_build.budget_of_ratio fr ~ratio))
+         ::
+         (match ans with
+         | Some (p : Frontier.point) ->
+             [ ("feasible", Json.Bool true);
+               ("peak_mem", Json.Int p.peak);
+               ("latency", Json.Float p.latency) ]
+         | None -> [ ("feasible", Json.Bool false) ]))
+    in
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("workload", Json.String w.name);
+              ("hw", Json.String hw.Hardware.name);
+              ("cache_hit", Json.Bool (searches = 0));
+              ("searches", Json.Int searches);
+              ("points", Json.Int (Frontier.size fr));
+              ("harvested", Json.Int c.Frontier.harvested);
+              ("answers", Json.List (List.map answer answers)) ]))
+  end
+  else begin
+    Printf.printf "%s on %s: %s, %d frontier points (%d searches)\n" w.name
+      hw.Hardware.name
+      (match status with `Hit -> "cache hit" | `Built _ -> "built")
+      (Frontier.size fr) searches;
+    (match Frontier.peak_range fr with
+    | Some (lo, hi) ->
+        Printf.printf "  peak range %.1f-%.1f MB\n" (mb lo) (mb hi)
+    | None -> ());
+    List.iter
+      (fun (ratio, ans) ->
+        match ans with
+        | Some (p : Frontier.point) ->
+            Printf.printf "  budget %.2f (%.1f MB): %.1f MB / %.2f ms\n" ratio
+              (mb (Frontier_build.budget_of_ratio fr ~ratio))
+              (mb p.peak) (ms p.latency)
+        | None ->
+            Printf.printf "  budget %.2f (%.1f MB): infeasible\n" ratio
+              (mb (Frontier_build.budget_of_ratio fr ~ratio)))
+      answers
+  end;
+  if List.exists (fun (_, ans) -> ans = None) answers then exit exit_infeasible
+
 open Cmdliner
 
 let workload = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
@@ -840,6 +918,50 @@ let json_flag =
        & info [ "json" ]
            ~doc:"Emit the report as a single JSON object on stdout.")
 
+let frontier_cmd =
+  let hw =
+    Arg.(value & opt string "rtx3090"
+         & info [ "hw" ]
+             ~doc:"Hardware profile (see [magis list] docs: rtx3090, a100, \
+                   mobile, edge-lb, tiered).")
+  in
+  let batch =
+    Arg.(value & opt (some int) None
+         & info [ "batch" ] ~doc:"Rebuild the workload at this batch size.")
+  in
+  let budgets =
+    Arg.(value & opt_all float []
+         & info [ "budget" ]
+             ~doc:"Memory budget as a ratio of the baseline peak, in (0, 1]; \
+                   repeatable.  Default: an 8-step ladder from 0.30 to 1.00.")
+  in
+  let cache_dir =
+    Arg.(value & opt string "_frontier_cache"
+         & info [ "cache-dir" ]
+             ~doc:"Frontier cache directory: a repeated invocation answers \
+                   every budget from the cached frontier with zero searches.")
+  in
+  let iters =
+    Arg.(value & opt int 32
+         & info [ "iters" ]
+             ~doc:"Maximum search iterations for a cache-miss build (part \
+                   of the cache key).")
+  in
+  let sched_states =
+    Arg.(value & opt int 0
+         & info [ "sched-states" ]
+             ~doc:"DP budget per scheduling call (part of the cache key).")
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:
+         "Sweep (or reload) the memory-latency Pareto frontier of a \
+          workload and answer one or more memory-budget queries from it; \
+          one search populates a cache that answers every later budget \
+          with zero searches (exit 5 when a budget is infeasible)")
+    Term.(const cmd_frontier $ workload $ full $ hw $ batch $ budgets
+          $ cache_dir $ iters $ sched_states $ json_flag)
+
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
@@ -906,4 +1028,4 @@ let () =
           (Cmd.info "magis" ~doc:"MAGIS memory optimizer for DNN graphs")
           [ list_cmd; inspect_cmd; optimize_cmd; profile_cmd; codegen_cmd;
             export_cmd; verify_cmd; analyze_cmd; lint_rules_cmd;
-            check_rules_cmd; chaos_cmd ]))
+            check_rules_cmd; frontier_cmd; chaos_cmd ]))

@@ -123,6 +123,20 @@ let pp_reply reply =
         Fmt.(option (fun ppf -> pf ppf " %s"))
         e_id
         (P.error_kind_name kind) detail
+  | P.Frontier_reply f ->
+      if f.fr_feasible then
+        Fmt.pr "frontier %s: %d points%s, budget %.1f MB -> peak %.1f MB, \
+                latency %.2f ms@."
+          f.fr_id f.fr_points
+          (if f.fr_cache_hit then " [cache hit]" else "")
+          (float_of_int f.fr_budget /. 1e6)
+          (float_of_int f.fr_peak /. 1e6)
+          (f.fr_latency *. 1e3)
+      else
+        Fmt.pr "frontier %s: %d points%s, budget %.1f MB -> infeasible@."
+          f.fr_id f.fr_points
+          (if f.fr_cache_hit then " [cache hit]" else "")
+          (float_of_int f.fr_budget /. 1e6)
   | P.Ack op -> Fmt.pr "ack %s@." op
   | P.Health_reply _ | P.Metrics_reply _ -> ()
 

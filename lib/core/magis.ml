@@ -102,6 +102,11 @@ module Pytorch_codegen = Magis_codegen.Pytorch
 module Export = Magis_codegen.Export
 module Program_parser = Magis_codegen.Parser
 
+(* frontier service: dominance-pruned Pareto sets, cached on disk *)
+module Frontier = Magis_frontier.Frontier
+module Frontier_cache = Magis_frontier.Frontier_cache
+module Frontier_build = Magis_frontier.Frontier_build
+
 (* optimization service *)
 module Serve_protocol = Magis_serve.Protocol
 module Serve_server = Magis_serve.Server

@@ -64,7 +64,16 @@ let compute_raw (hw : Hardware.t) (op : Op.kind) (ins : Shape.t array)
   | _ ->
       let fl = Op.flops op ins out in
       let by = Op.bytes_moved op ins out in
-      hw.launch_overhead +. (fl /. hw.peak_flops) +. (by /. hw.mem_bandwidth)
+      (* two-tier memory: traffic beyond the fast-tier capacity streams
+         at the slow-tier rate.  Flat profiles have
+         [fast_memory = device_memory], far above any single operator's
+         traffic, so this reduces to the plain roofline term there. *)
+      let fast = float_of_int hw.fast_memory in
+      let mem_t =
+        if by <= fast then by /. hw.mem_bandwidth
+        else (fast /. hw.mem_bandwidth) +. ((by -. fast) /. hw.swap_bandwidth)
+      in
+      hw.launch_overhead +. (fl /. hw.peak_flops) +. mem_t
 
 let cost t (op : Op.kind) (ins : Shape.t array) (out : Shape.t) : float =
   let k = key op ins in

@@ -105,24 +105,42 @@ let common_suffix_len ~limit pa ca =
   while !i < n && pa.(np - 1 - !i) = ca.(nc - 1 - !i) do incr i done;
   !i
 
+(* The codec alone, without the intern pool: the [Delta] parent is
+   whatever physical list the caller passes, so callers that keep one
+   shared parent (the frontier's harvested-schedule store) get the same
+   aliasing the pool provides here. *)
+module Codec = struct
+  type nonrec code = code
+
+  let full sched = Full sched
+
+  let encode ~parent sched =
+    let pa = Array.of_list parent and ca = Array.of_list sched in
+    let prefix = common_prefix_len pa ca in
+    let suffix =
+      common_suffix_len ~limit:(min (Array.length pa) (Array.length ca) - prefix)
+        pa ca
+    in
+    let middle =
+      Array.to_list (Array.sub ca prefix (Array.length ca - prefix - suffix))
+    in
+    if List.length middle >= List.length sched then Full sched
+    else
+      let d = Delta { parent; prefix; middle; suffix } in
+      if decode d = sched then d else Full sched
+
+  let decode = decode
+  let is_delta = function Delta _ -> true | Full _ -> false
+
+  let stored_ints = function
+    | Full s -> List.length s
+    | Delta { middle; _ } -> List.length middle + 2
+end
+
 let encode t ?parent sched =
   match parent with
   | None -> Full sched
-  | Some p ->
-      let p = intern t p in
-      let pa = Array.of_list p and ca = Array.of_list sched in
-      let prefix = common_prefix_len pa ca in
-      let suffix =
-        common_suffix_len ~limit:(min (Array.length pa) (Array.length ca) - prefix)
-          pa ca
-      in
-      let middle =
-        Array.to_list (Array.sub ca prefix (Array.length ca - prefix - suffix))
-      in
-      if List.length middle >= List.length sched then Full sched
-      else
-        let d = Delta { parent = p; prefix; middle; suffix } in
-        if decode d = sched then d else Full sched
+  | Some p -> Codec.encode ~parent:(intern t p) sched
 
 (* ------------------------------------------------------------------ *)
 (* Table operations                                                    *)

@@ -1,0 +1,44 @@
+(** Harvesting frontiers from searches and serving them from the cache
+    (see the interface). *)
+
+open Magis_cost
+module Search = Magis_opt.Search
+module Mstate = Magis_opt.Mstate
+
+let harvest_into fr ~iteration (s : Mstate.t) =
+  ignore
+    (Frontier.insert fr ~peak:s.peak_mem ~latency:s.latency ~iteration
+       s.schedule)
+
+let key ?(config = Search.default_config) mode ~hw graph =
+  Search.trajectory_fingerprint config mode
+    ~hw:(Hardware.fingerprint hw)
+    graph
+
+let build ?(config = Search.default_config) cache mode graph =
+  let fr = Frontier.create () in
+  let config = { config with Search.harvest = Some (harvest_into fr) } in
+  let result = Search.run ~config cache mode graph in
+  (* the unoptimized starting state is never a candidate, so the hook
+     never sees it; insert it explicitly — it anchors the frontier's
+     maximum peak at the baseline, which the ratio-budget helpers below
+     rely on *)
+  harvest_into fr ~iteration:0 result.Search.initial;
+  (fr, result)
+
+let cached_or_build ?(config = Search.default_config) ~dir cache mode graph =
+  let key = key ~config mode ~hw:cache.Op_cost.hw graph in
+  match Frontier_cache.load ~dir ~key with
+  | Some fr -> (fr, `Hit)
+  | None ->
+      let fr, result = build ~config cache mode graph in
+      Frontier_cache.save ~dir ~key fr;
+      (fr, `Built result)
+
+let budget_of_ratio fr ~ratio =
+  match Frontier.peak_range fr with
+  | None -> 0
+  | Some (_, max_peak) ->
+      int_of_float (ratio *. float_of_int max_peak)
+
+let query_ratio fr ~ratio = Frontier.query fr ~budget:(budget_of_ratio fr ~ratio)

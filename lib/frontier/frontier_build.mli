@@ -1,0 +1,58 @@
+(** One search, a whole frontier: harvest every exactly-evaluated
+    candidate of a {!Magis_opt.Search} run into a {!Frontier}, persist
+    it with {!Frontier_cache}, and answer later memory-budget questions
+    without searching again.
+
+    The harvest rides the search's observation-only hook
+    ([Search.config.harvest]): it sees every exactly-evaluated candidate
+    at the serial merge, in candidate order, and cannot change the
+    trajectory — the returned best state is bit-identical with
+    harvesting on or off (A/B-enforced in the tests). *)
+
+open Magis_ir
+open Magis_cost
+module Search = Magis_opt.Search
+
+(** Harvest callback inserting each observed state's
+    [(peak_mem, latency, schedule)] into the frontier — the value to put
+    in [Search.config.harvest]. *)
+val harvest_into :
+  Frontier.t -> iteration:int -> Magis_opt.Mstate.t -> unit
+
+(** The frontier cache key: {!Search.trajectory_fingerprint} of the
+    configuration, mode, hardware and graph.  [config] defaults to
+    {!Search.default_config}; observation-only hooks in it are ignored
+    by the fingerprint, so the key is stable across harvesting runs and
+    plain runs. *)
+val key :
+  ?config:Search.config -> Search.mode -> hw:Hardware.t -> Graph.t -> int64
+
+(** Run the search with harvesting on and return the swept frontier
+    alongside the ordinary search result.  The unoptimized baseline
+    state is inserted as iteration 0, so the frontier's maximum peak is
+    the baseline peak — which makes ratio budgets meaningful. *)
+val build :
+  ?config:Search.config ->
+  Op_cost.t ->
+  Search.mode ->
+  Graph.t ->
+  Frontier.t * Search.result
+
+(** Serve the frontier for [(config, mode, hardware, graph)] from
+    [dir], building and persisting it on a miss.  [`Hit] answers with
+    zero searches. *)
+val cached_or_build :
+  ?config:Search.config ->
+  dir:string ->
+  Op_cost.t ->
+  Search.mode ->
+  Graph.t ->
+  Frontier.t * [ `Hit | `Built of Search.result ]
+
+(** A ratio budget in bytes: [ratio] × the frontier's maximum resident
+    peak (the baseline peak when built by {!build}); 0 on an empty
+    frontier. *)
+val budget_of_ratio : Frontier.t -> ratio:float -> int
+
+(** {!Frontier.query} at {!budget_of_ratio}. *)
+val query_ratio : Frontier.t -> ratio:float -> Frontier.point option

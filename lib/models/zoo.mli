@@ -1,6 +1,10 @@
 (** The paper's evaluation workloads (Table 2), buildable at [Full]
     (paper-scale) or [Quick] (depth/resolution-reduced, same per-layer
-    structure) scale. *)
+    structure) scale.
+
+    Also the single home of the model-name lists the benches and tests
+    share, and of the batch-size sweep helpers the frontier service uses
+    to turn one model into a family of deployment scenarios. *)
 
 open Magis_ir
 
@@ -24,5 +28,26 @@ val btlm : workload
 (** All seven, in Table 2 order. *)
 val all : workload list
 
+(** The seven names, in Table 2 order. *)
+val names : string list
+
+(** The four-model subset of the Pareto-curve experiments (Fig. 11 and
+    the frontier sweeps). *)
+val pareto_quad : string list
+
+(** The three-model subset of the design-ablation experiments. *)
+val ablation_trio : string list
+
+(** The two small U-Nets the quick smoke tests and load mixes use. *)
+val smoke_pair : string list
+
 (** Case-insensitive lookup; raises [Invalid_argument] on unknown names. *)
 val find : string -> workload
+
+(** The same workload rebuilt at another batch size (both scales);
+    raises [Invalid_argument] on a non-positive batch.  [with_batch w
+    ~batch:w.batch] builds graphs identical to [w]'s. *)
+val with_batch : workload -> batch:int -> workload
+
+(** [with_batch] over a list of batch sizes, in order. *)
+val batch_sweep : workload -> batches:int list -> workload list

@@ -420,6 +420,12 @@ type config = {
       (** per-iteration telemetry sink (JSONL); [None] (the default) =
           off.  Purely observational: excluded from the trajectory
           fingerprint, never changes the search *)
+  harvest : (iteration:int -> Mstate.t -> unit) option;
+      (** side channel fed every exactly-evaluated candidate at the
+          serial phase-4 merge, in candidate order, before and
+          regardless of admission ({!Magis_frontier} collects them into
+          a Pareto frontier).  Purely observational: excluded from the
+          trajectory fingerprint, never changes the search *)
   cancel : unit -> bool;
       (** cooperative cancellation hook, polled at every expansion
           boundary alongside {!Magis_resilience.Interrupt.requested}:
@@ -448,6 +454,7 @@ let default_config =
     checkpoint = None;
     degrade = true;
     profile = None;
+    harvest = None;
     cancel = (fun () -> false);
   }
 
@@ -838,7 +845,8 @@ type snapshot = {
     this run's trajectory: the hardware model, the input graph, the
     mode (with its limit) and every trajectory-relevant configuration
     knob.  [jobs], caching and verification flags are excluded — they
-    are result-preserving by construction. *)
+    are result-preserving by construction — as are the observation-only
+    hooks ([profile], [harvest], [cancel]). *)
 let trajectory_fingerprint (cfg : config) (mode : mode) ~(hw : int64)
     (graph : Graph.t) : int64 =
   let bit b i = if b then 1 lsl i else 0 in
@@ -1269,6 +1277,12 @@ let run ?(config = default_config) (cache : Op_cost.t) (mode : mode)
               the best state or the queue. *)
            (Trace.with_span ~cat:"search" "phase-merge" @@ fun () ->
             let admit (s' : Mstate.t) =
+              (* observation-only side channel: sees every exactly
+                 evaluated candidate in candidate order, never feeds
+                 back into best/queue *)
+              (match config.harvest with
+              | Some f -> f ~iteration:stats.iterations s'
+              | None -> ());
               if better_than mode s' !best then begin
                 (* only accepted bests reach the caller, so proving
                    their memory plan interference-free here covers every

@@ -211,6 +211,16 @@ type config = {
           per-phase seconds and per-worker busy fractions.  Purely
           observational — excluded from the trajectory fingerprint and
           never changes the search. *)
+  harvest : (iteration:int -> Mstate.t -> unit) option;
+      (** frontier side channel ([None], the default, = off): called
+          once for every exactly-evaluated candidate at the serial
+          phase-4 merge, in candidate order, before and regardless of
+          δ-admission — so the callback observes the same states in the
+          same order for any [jobs] value.  {!Magis_frontier} uses it
+          to collect the memory–latency Pareto frontier a search sweeps
+          past.  Purely observational: excluded from the trajectory
+          fingerprint, and the returned best state is bit-identical
+          with the hook on or off (A/B-enforced in the tests). *)
   cancel : unit -> bool;
       (** cooperative cancellation hook, polled at every expansion
           boundary alongside {!Magis_resilience.Interrupt.requested}:
@@ -222,6 +232,16 @@ type config = {
 }
 
 val default_config : config
+
+(** Digest of everything that must match for two runs to follow the
+    same trajectory: the input graph (WL hash), the hardware
+    fingerprint, the mode with its limit, and every trajectory-relevant
+    configuration knob.  [jobs], caching/verification flags and the
+    observation-only hooks ([profile], [harvest], [cancel]) are
+    excluded — they are result-preserving by construction.  Keys both
+    search checkpoints and cached frontiers
+    ({!Magis_frontier.Frontier_cache}). *)
+val trajectory_fingerprint : config -> mode -> hw:int64 -> Graph.t -> int64
 
 (** Fraction of evaluations served by the simulation cache (0 when none
     ran). *)

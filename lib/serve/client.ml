@@ -88,6 +88,17 @@ let optimize ?(on_progress = fun _ -> ()) t (req : P.request) =
   in
   pump ()
 
+let frontier t (f : P.frontier_request) =
+  send t (P.Frontier f);
+  let rec pump () =
+    match recv t with
+    | P.Frontier_reply a as r when a.fr_id = f.f_id -> r
+    | P.Error { e_id = Some id; _ } as r when id = f.f_id -> r
+    | P.Error { e_id = None; _ } as r -> r
+    | _ -> pump ()
+  in
+  pump ()
+
 let health t =
   send t P.Health;
   let rec pump () =

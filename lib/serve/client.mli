@@ -32,6 +32,11 @@ val optimize :
   Protocol.request ->
   Protocol.reply
 
+(** Send a [Frontier] query and pump replies until its terminal one
+    ([Frontier_reply] or [Error]).  A cache hit returns without the
+    daemon running any search. *)
+val frontier : t -> Protocol.frontier_request -> Protocol.reply
+
 val health : t -> Protocol.health
 val metrics_text : t -> string
 

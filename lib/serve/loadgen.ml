@@ -211,6 +211,32 @@ let scenario_duplicate addr _rng () =
    with End_of_file -> ());
   !dup && !result
 
+(* Mixed optimize / frontier traffic on one connection: an ordinary
+   request, then the same frontier query twice — the first may build or
+   hit, the second MUST be a cache hit (the daemon just built it), and
+   both must agree on the answer. *)
+let scenario_frontier_mix addr _rng () =
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let opt_ok =
+    match Client.optimize c (small_req ~id:"chaos-fmix-opt" ~model:"unet") with
+    | P.Result o -> o.o_id = "chaos-fmix-opt"
+    | _ -> false
+  in
+  let fq id =
+    { (P.frontier_request ~id ~model:"unet") with P.f_max_iterations = 3 }
+  in
+  match
+    (Client.frontier c (fq "chaos-fmix-f1"), Client.frontier c (fq "chaos-fmix-f2"))
+  with
+  | P.Frontier_reply a, P.Frontier_reply b ->
+      opt_ok && b.fr_cache_hit
+      && a.fr_points = b.fr_points
+      && a.fr_budget = b.fr_budget
+      && a.fr_peak = b.fr_peak
+      && a.fr_latency = b.fr_latency
+  | _ -> false
+
 let run_chaos ~addr ~seed =
   let rng = Random.State.make [| 0xC4A05; seed |] in
   let scenarios =
@@ -220,6 +246,7 @@ let run_chaos ~addr ~seed =
       ("disconnect", scenario_disconnect addr rng);
       ("slow", scenario_slow addr rng);
       ("duplicate", scenario_duplicate addr rng);
+      ("frontier-mix", scenario_frontier_mix addr rng);
     ]
   in
   let results =

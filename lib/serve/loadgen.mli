@@ -6,9 +6,10 @@
     acceptance asks for: latency percentiles, rejection rate and the
     cross-request simulation-cache hit rate.  The chaos harness drives
     the adversarial client behaviours (garbage bytes, oversized lines,
-    mid-stream disconnects, slow requests, duplicate ids) and reports,
-    per scenario, whether the daemon survived and kept answering with
-    structured replies. *)
+    mid-stream disconnects, slow requests, duplicate ids, mixed
+    optimize/frontier traffic with a mandatory repeat-query cache hit)
+    and reports, per scenario, whether the daemon survived and kept
+    answering with structured replies. *)
 
 type load_report = {
   sent : int;

@@ -24,7 +24,24 @@ type request = {
   sched_states : int;
 }
 
-type command = Optimize of request | Health | Metrics | Pause | Resume | Shutdown
+type frontier_request = {
+  f_id : string;
+  f_model : string;
+  f_scale : Zoo.scale;
+  f_hw : string;
+  f_budget_ratio : float;
+  f_max_iterations : int;
+  f_sched_states : int;
+}
+
+type command =
+  | Optimize of request
+  | Frontier of frontier_request
+  | Health
+  | Metrics
+  | Pause
+  | Resume
+  | Shutdown
 
 type error_kind =
   | Malformed
@@ -67,10 +84,21 @@ type health = {
   cache_hit_rate : float;
 }
 
+type frontier_answer = {
+  fr_id : string;
+  fr_cache_hit : bool;
+  fr_points : int;
+  fr_budget : int;
+  fr_feasible : bool;
+  fr_peak : int;
+  fr_latency : float;
+}
+
 type reply =
   | Ack of string
   | Progress of progress
   | Result of outcome
+  | Frontier_reply of frontier_answer
   | Error of { e_id : string option; kind : error_kind; detail : string }
   | Health_reply of health
   | Metrics_reply of string
@@ -101,6 +129,17 @@ let request ~id ~model =
     max_iterations = 32;
     progress_every = 0;
     sched_states = 0;
+  }
+
+let frontier_request ~id ~model =
+  {
+    f_id = id;
+    f_model = model;
+    f_scale = Zoo.Quick;
+    f_hw = "rtx3090";
+    f_budget_ratio = 0.8;
+    f_max_iterations = 32;
+    f_sched_states = 0;
   }
 
 let error_kind_name = function
@@ -204,6 +243,20 @@ let command_to_string cmd =
           @ [ ("max_iterations", Json.Int r.max_iterations);
               ("progress_every", Json.Int r.progress_every);
               ("sched_states", Json.Int r.sched_states) ])
+    | Frontier f ->
+        Json.Obj
+          [ ("op", Json.String "frontier");
+            ("id", Json.String f.f_id);
+            ("model", Json.String f.f_model);
+            ("scale",
+             Json.String
+               (match f.f_scale with
+               | Zoo.Quick -> "quick"
+               | Zoo.Full -> "full"));
+            ("hw", Json.String f.f_hw);
+            ("budget_ratio", Json.Float f.f_budget_ratio);
+            ("max_iterations", Json.Int f.f_max_iterations);
+            ("sched_states", Json.Int f.f_sched_states) ]
   in
   Json.to_string doc
 
@@ -244,10 +297,36 @@ let request_of_json doc =
     sched_states = opt_int doc "sched_states" ~default:0;
   }
 
+let frontier_request_of_json doc =
+  let scale =
+    match Json.member "scale" doc with
+    | None | Some Json.Null -> Zoo.Quick
+    | Some (Json.String "quick") -> Zoo.Quick
+    | Some (Json.String "full") -> Zoo.Full
+    | Some _ -> invalid "field \"scale\" must be \"quick\" or \"full\""
+  in
+  let ratio = opt_float doc "budget_ratio" ~default:0.8 in
+  if not (ratio > 0. && ratio <= 1.) then
+    invalid "field \"budget_ratio\" must be in (0, 1]";
+  {
+    f_id = str_field doc "id";
+    f_model = str_field doc "model";
+    f_scale = scale;
+    f_hw =
+      (match Json.member "hw" doc with
+      | None | Some Json.Null -> "rtx3090"
+      | Some (Json.String s) -> s
+      | Some _ -> invalid "field \"hw\" must be a string");
+    f_budget_ratio = ratio;
+    f_max_iterations = opt_int doc "max_iterations" ~default:32;
+    f_sched_states = opt_int doc "sched_states" ~default:0;
+  }
+
 let command_of_string s =
   let doc = Json.of_string ~max_depth ~max_len:max_request_line s in
   match str_field doc "op" with
   | "optimize" -> Optimize (request_of_json doc)
+  | "frontier" -> Frontier (frontier_request_of_json doc)
   | "health" -> Health
   | "metrics" -> Metrics
   | "pause" -> Pause
@@ -283,6 +362,16 @@ let reply_to_string reply =
             ("resumed", Json.Bool o.o_resumed);
             ("deadline_hit", Json.Bool o.o_deadline_hit);
             ("quarantined", Json.Int o.o_quarantined) ]
+    | Frontier_reply f ->
+        Json.Obj
+          [ ("reply", Json.String "frontier");
+            ("id", Json.String f.fr_id);
+            ("cache_hit", Json.Bool f.fr_cache_hit);
+            ("points", Json.Int f.fr_points);
+            ("budget", Json.Int f.fr_budget);
+            ("feasible", Json.Bool f.fr_feasible);
+            ("peak_mem", Json.Int f.fr_peak);
+            ("latency", Json.Float f.fr_latency) ]
     | Error { e_id; kind; detail } ->
         Json.Obj
           ([ ("reply", Json.String "error") ]
@@ -333,6 +422,17 @@ let reply_of_string s =
           o_resumed = req_bool doc "resumed";
           o_deadline_hit = req_bool doc "deadline_hit";
           o_quarantined = req_int doc "quarantined";
+        }
+  | "frontier" ->
+      Frontier_reply
+        {
+          fr_id = str_field doc "id";
+          fr_cache_hit = req_bool doc "cache_hit";
+          fr_points = req_int doc "points";
+          fr_budget = req_int doc "budget";
+          fr_feasible = req_bool doc "feasible";
+          fr_peak = req_int doc "peak_mem";
+          fr_latency = req_float doc "latency";
         }
   | "error" ->
       let e_id =

@@ -35,8 +35,24 @@ type request = {
   sched_states : int;  (** DP budget; may be shed under load *)
 }
 
+(** A frontier query: "best latency for [model] on [hw] under
+    [budget_ratio] × the baseline peak".  Answered from the daemon's
+    frontier cache when the (model, hardware, search configuration)
+    combination was built before — a cache hit costs one O(log n)
+    lookup on the IO domain and never enters the admission queue. *)
+type frontier_request = {
+  f_id : string;  (** same id discipline as {!request.id} *)
+  f_model : string;
+  f_scale : Magis_models.Zoo.scale;
+  f_hw : string;  (** {!Magis_cost.Hardware} profile name *)
+  f_budget_ratio : float;  (** memory budget in (0, 1] of baseline peak *)
+  f_max_iterations : int;  (** search knobs for the cache-miss build; *)
+  f_sched_states : int;  (** both are part of the cache key *)
+}
+
 type command =
   | Optimize of request
+  | Frontier of frontier_request
   | Health
   | Metrics
   | Pause  (** stop dispatching queued requests (admin; deterministic tests) *)
@@ -84,10 +100,21 @@ type health = {
   cache_hit_rate : float;  (** shared cross-request simulation cache *)
 }
 
+type frontier_answer = {
+  fr_id : string;
+  fr_cache_hit : bool;  (** answered without running a search *)
+  fr_points : int;  (** resident frontier points *)
+  fr_budget : int;  (** the ratio resolved to bytes *)
+  fr_feasible : bool;  (** some point fits the budget *)
+  fr_peak : int;  (** chosen point's peak bytes (0 when infeasible) *)
+  fr_latency : float;  (** chosen point's latency (0 when infeasible) *)
+}
+
 type reply =
   | Ack of string  (** admin command acknowledged; carries the op name *)
   | Progress of progress
   | Result of outcome
+  | Frontier_reply of frontier_answer
   | Error of { e_id : string option; kind : error_kind; detail : string }
   | Health_reply of health
   | Metrics_reply of string  (** Prometheus text exposition *)
@@ -106,6 +133,10 @@ val max_reply_line : int
 (** Request with every optional knob at its default; [id] and [model]
     are the only mandatory choices. *)
 val request : id:string -> model:string -> request
+
+(** Frontier query with every optional knob at its default (rtx3090
+    hardware, 0.8 budget ratio). *)
+val frontier_request : id:string -> model:string -> frontier_request
 
 val error_kind_name : error_kind -> string
 

@@ -39,6 +39,9 @@ module Simulator = Magis_cost.Simulator
 module Sim_cache = Magis_cost.Sim_cache
 module Search = Magis_opt.Search
 module Zoo = Magis_models.Zoo
+module Frontier = Magis_frontier.Frontier
+module Frontier_cache = Magis_frontier.Frontier_cache
+module Frontier_build = Magis_frontier.Frontier_build
 module P = Protocol
 
 type config = {
@@ -77,6 +80,8 @@ let m_quarantined = Metrics.counter "serve.quarantined"
 let m_cancelled = Metrics.counter "serve.cancelled"
 let m_deadline = Metrics.counter "serve.deadline"
 let m_resumed = Metrics.counter "serve.resumed"
+let m_frontier_hits = Metrics.counter "serve.frontier_hits"
+let m_frontier_built = Metrics.counter "serve.frontier_built"
 let g_queue = Metrics.gauge "serve.queue_depth"
 let g_inflight = Metrics.gauge "serve.inflight"
 let g_shed = Metrics.gauge "serve.shed_level"
@@ -90,7 +95,20 @@ type conn = {
   inflight : int Atomic.t;  (** queued + running requests of this client *)
 }
 
-type job = { jconn : conn; jreq : P.request; t_admit : float; jshed : int }
+(* What a worker executes: an ordinary optimization, or a frontier
+   build for a query that missed the cache (hits never become jobs —
+   the IO domain answers them directly). *)
+type task = Opt_task of P.request | Frontier_task of P.frontier_request
+
+let task_id = function
+  | Opt_task (r : P.request) -> r.id
+  | Frontier_task (f : P.frontier_request) -> f.f_id
+
+let task_model = function
+  | Opt_task (r : P.request) -> r.model
+  | Frontier_task (f : P.frontier_request) -> f.f_model
+
+type job = { jconn : conn; jtask : task; t_admit : float; jshed : int }
 
 type t = {
   cfg : config;
@@ -105,6 +123,9 @@ type t = {
   pipe_w : Unix.file_descr;
   cache : Op_cost.t;
   sim_cache : Sim_cache.t;
+  flock : Mutex.t;
+  frontiers : (int64, Magis_frontier.Frontier.t) Hashtbl.t;
+      (** in-memory frontier memo over the on-disk cache; [flock] *)
   ids : (string, unit) Hashtbl.t;  (** in-flight request ids; [qlock] *)
   mutable quarantine : (int * string * string) list;  (** newest first *)
   served : int Atomic.t;
@@ -129,6 +150,8 @@ let create cfg =
     pipe_w;
     cache = Op_cost.create Hardware.default;
     sim_cache = Sim_cache.create ();
+    flock = Mutex.create ();
+    frontiers = Hashtbl.create 16;
     ids = Hashtbl.create 64;
     quarantine = [];
     served = Atomic.make 0;
@@ -247,14 +270,15 @@ let reject t conn ?id kind detail =
   Metrics.incr m_rejected;
   send_error t conn ?id kind detail
 
-let admit t conn (req : P.request) =
+let admit t conn (task : task) =
   Metrics.incr m_requests;
+  let id = task_id task in
   Mutex.lock t.qlock;
   let depth = Queue.length t.queue in
   let verdict =
     if t.draining then `Reject (P.Shutting_down, "daemon is draining")
-    else if Hashtbl.mem t.ids req.id then
-      `Reject (P.Duplicate, Printf.sprintf "request id %S is in flight" req.id)
+    else if Hashtbl.mem t.ids id then
+      `Reject (P.Duplicate, Printf.sprintf "request id %S is in flight" id)
     else if Atomic.get conn.inflight >= t.cfg.per_client_limit then
       `Reject
         ( P.Overloaded,
@@ -264,10 +288,11 @@ let admit t conn (req : P.request) =
       `Reject (P.Overloaded, Printf.sprintf "queue full (%d)" t.cfg.queue_cap)
     else begin
       let shed = shed_of_depth t.cfg depth in
-      Hashtbl.add t.ids req.id ();
+      Hashtbl.add t.ids id ();
       Atomic.incr conn.inflight;
       Queue.add
-        { jconn = conn; jreq = req; t_admit = Unix.gettimeofday (); jshed = shed }
+        { jconn = conn; jtask = task; t_admit = Unix.gettimeofday ();
+          jshed = shed }
         t.queue;
       Metrics.set g_queue (float_of_int (Queue.length t.queue));
       Metrics.set g_shed (float_of_int shed);
@@ -277,8 +302,8 @@ let admit t conn (req : P.request) =
   in
   Mutex.unlock t.qlock;
   match verdict with
-  | `Admitted -> log t "admitted %s (%s)" req.id req.model
-  | `Reject (kind, detail) -> reject t conn ~id:req.id kind detail
+  | `Admitted -> log t "admitted %s (%s)" id (task_model task)
+  | `Reject (kind, detail) -> reject t conn ~id kind detail
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (worker domains)                                  *)
@@ -306,7 +331,7 @@ let search_config t ~shed (req : P.request) =
    the slot count reaches zero. *)
 let settle t (job : job) outcome =
   Mutex.lock t.qlock;
-  Hashtbl.remove t.ids job.jreq.id;
+  Hashtbl.remove t.ids (task_id job.jtask);
   if t.draining then Condition.broadcast t.qcond;
   Mutex.unlock t.qlock;
   Atomic.decr t.running;
@@ -326,8 +351,8 @@ let finish t (job : job) =
   Atomic.decr job.jconn.inflight;
   wake t
 
-let run_search t (job : job) (workload : Zoo.workload) deadline_left =
-  let req = job.jreq in
+let run_search t (job : job) (req : P.request) (workload : Zoo.workload)
+    deadline_left =
   let conn = job.jconn in
   let alive () = Atomic.get conn.alive in
   let elapsed () = Unix.gettimeofday () -. job.t_admit in
@@ -464,35 +489,174 @@ let run_search t (job : job) (workload : Zoo.workload) deadline_left =
           result ~interrupted:false ~deadline_hit:false r;
           finish t job)
 
+(* ------------------------------------------------------------------ *)
+(* Frontier queries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Frontier builds always run the widest sweep — minimize memory with
+   no latency bound — so one cached frontier answers every budget.
+   The configuration deliberately ignores load shedding: shed knobs are
+   part of the trajectory fingerprint, and a frontier built under shed
+   would silently occupy a different cache key. *)
+let frontier_mode = Search.Min_memory { lat_limit = infinity }
+
+let frontier_config (f : P.frontier_request) =
+  {
+    Search.default_config with
+    sched_states = f.f_sched_states;
+    max_iterations = f.f_max_iterations;
+  }
+
+(* Workload, hardware, graph and cache key of a query; raises
+   [Invalid_argument] on an unknown model or hardware profile. *)
+let frontier_spec (f : P.frontier_request) =
+  let workload = Zoo.find f.f_model in
+  let hw = Hardware.find f.f_hw in
+  let graph = workload.Zoo.build f.f_scale in
+  let key = Frontier_build.key ~config:(frontier_config f) frontier_mode ~hw graph in
+  (hw, graph, key)
+
+let frontier_answer (f : P.frontier_request) ~cache_hit fr =
+  let budget = Frontier_build.budget_of_ratio fr ~ratio:f.f_budget_ratio in
+  match Frontier.query fr ~budget with
+  | Some (p : Frontier.point) ->
+      {
+        P.fr_id = f.f_id;
+        fr_cache_hit = cache_hit;
+        fr_points = Frontier.size fr;
+        fr_budget = budget;
+        fr_feasible = true;
+        fr_peak = p.peak;
+        fr_latency = p.latency;
+      }
+  | None ->
+      {
+        P.fr_id = f.f_id;
+        fr_cache_hit = cache_hit;
+        fr_points = Frontier.size fr;
+        fr_budget = budget;
+        fr_feasible = false;
+        fr_peak = 0;
+        fr_latency = 0.0;
+      }
+
+(* Memo-then-disk lookup.  A disk hit is promoted into the memo so a
+   daemon restarted over a warm cache directory pays the file read
+   once. *)
+let frontier_cached t key =
+  Mutex.lock t.flock;
+  let memo = Hashtbl.find_opt t.frontiers key in
+  Mutex.unlock t.flock;
+  match memo with
+  | Some _ as hit -> hit
+  | None -> (
+      match Frontier_cache.load ~dir:t.cfg.ckpt_dir ~key with
+      | Some fr ->
+          Mutex.lock t.flock;
+          Hashtbl.replace t.frontiers key fr;
+          Mutex.unlock t.flock;
+          Some fr
+      | None -> None)
+
+(* Cache-miss path, on a worker domain: run one harvesting search and
+   persist the swept frontier.  Different queries may name different
+   hardware, so the op-cost cache is private per build (sharing the
+   daemon's default-hardware simulation cache across profiles would
+   poison it). *)
+let run_frontier t (job : job) (f : P.frontier_request) =
+  let conn = job.jconn in
+  match frontier_spec f with
+  | exception Invalid_argument msg ->
+      settle t job `Rejected;
+      send_error t conn ~id:f.f_id P.Malformed msg;
+      finish t job
+  | hw, graph, key -> (
+      match frontier_cached t key with
+      | Some fr ->
+          (* another worker (or a previous run) built it since the IO
+             domain missed *)
+          Metrics.incr m_frontier_hits;
+          settle t job `Served;
+          send t conn (P.Frontier_reply (frontier_answer f ~cache_hit:true fr));
+          finish t job
+      | None -> (
+          let config =
+            {
+              (frontier_config f) with
+              Search.cancel = (fun () -> not (Atomic.get conn.alive));
+            }
+          in
+          let cache = Op_cost.create hw in
+          match Frontier_build.build ~config cache frontier_mode graph with
+          | exception e ->
+              let detail = Printexc.to_string e in
+              add_quarantine t conn "frontier" detail;
+              settle t job `Rejected;
+              send_error t conn ~id:f.f_id P.Internal detail;
+              finish t job
+          | fr, result when result.Search.interrupted ->
+              (* partial sweep: answer the live client best-so-far but
+                 never cache it — a cached frontier must be the full
+                 sweep or later budgets silently get worse answers *)
+              if Atomic.get conn.alive then begin
+                settle t job `Served;
+                send t conn
+                  (P.Frontier_reply (frontier_answer f ~cache_hit:false fr));
+                finish t job
+              end
+              else begin
+                settle t job `Cancelled;
+                finish t job
+              end
+          | fr, _result ->
+              Frontier_cache.save ~dir:t.cfg.ckpt_dir ~key fr;
+              Mutex.lock t.flock;
+              Hashtbl.replace t.frontiers key fr;
+              Mutex.unlock t.flock;
+              Metrics.incr m_frontier_built;
+              log t "frontier built for %s on %s (%d points)" f.f_model f.f_hw
+                (Frontier.size fr);
+              settle t job `Served;
+              send t conn
+                (P.Frontier_reply (frontier_answer f ~cache_hit:false fr));
+              finish t job))
+
 let execute t (job : job) =
-  let req = job.jreq in
   let conn = job.jconn in
   let elapsed () = Unix.gettimeofday () -. job.t_admit in
   if not (Atomic.get conn.alive) then begin
     settle t job `Cancelled;
     finish t job
   end
-  else begin
-    let deadline_left = Option.map (fun d -> d -. elapsed ()) req.deadline_s in
-    match deadline_left with
-    | Some left when left <= 0.0 ->
-        Metrics.incr m_deadline;
-        settle t job `Rejected;
-        send_error t conn ~id:req.id P.Deadline
-          "deadline expired before dispatch";
-        finish t job
-    | _ -> (
-        match Zoo.find req.model with
-        | exception Invalid_argument msg ->
+  else
+    match job.jtask with
+    | Frontier_task f ->
+        Trace.with_span ~cat:"serve"
+          ~args:[ ("id", f.f_id); ("model", f.f_model) ]
+          "frontier"
+        @@ fun () -> run_frontier t job f
+    | Opt_task req -> (
+        let deadline_left =
+          Option.map (fun d -> d -. elapsed ()) req.deadline_s
+        in
+        match deadline_left with
+        | Some left when left <= 0.0 ->
+            Metrics.incr m_deadline;
             settle t job `Rejected;
-            send_error t conn ~id:req.id P.Malformed msg;
+            send_error t conn ~id:req.id P.Deadline
+              "deadline expired before dispatch";
             finish t job
-        | workload ->
-            Trace.with_span ~cat:"serve"
-              ~args:[ ("id", req.id); ("model", req.model) ]
-              "request"
-            @@ fun () -> run_search t job workload deadline_left)
-  end
+        | _ -> (
+            match Zoo.find req.model with
+            | exception Invalid_argument msg ->
+                settle t job `Rejected;
+                send_error t conn ~id:req.id P.Malformed msg;
+                finish t job
+            | workload ->
+                Trace.with_span ~cat:"serve"
+                  ~args:[ ("id", req.id); ("model", req.model) ]
+                  "request"
+                @@ fun () -> run_search t job req workload deadline_left))
 
 let rec worker_loop t =
   Mutex.lock t.qlock;
@@ -517,7 +681,7 @@ let rec worker_loop t =
        (* belt and braces: [execute] replies on every known path, so
           this only fires on daemon bugs — reply and keep serving *)
        settle t job `Rejected;
-       send_error t job.jconn ~id:job.jreq.id P.Internal
+       send_error t job.jconn ~id:(task_id job.jtask) P.Internal
          (Printexc.to_string e);
        finish t job);
     worker_loop t
@@ -564,8 +728,28 @@ let handle_line t conn line =
       send_error t conn P.Malformed msg;
       false
   | P.Optimize req ->
-      admit t conn req;
+      admit t conn (Opt_task req);
       false
+  | P.Frontier f -> (
+      (* cache hits are answered right here on the IO domain — a hit is
+         one O(log n) lookup, so it never competes with searches for a
+         worker slot or a queue position *)
+      match frontier_spec f with
+      | exception Invalid_argument msg ->
+          reject t conn ~id:f.f_id P.Malformed msg;
+          false
+      | _, _, key -> (
+          match frontier_cached t key with
+          | Some fr ->
+              Metrics.incr m_frontier_hits;
+              Atomic.incr t.served;
+              Metrics.incr m_served;
+              send t conn
+                (P.Frontier_reply (frontier_answer f ~cache_hit:true fr));
+              false
+          | None ->
+              admit t conn (Frontier_task f);
+              false))
   | P.Health ->
       send t conn (P.Health_reply (health_snapshot t));
       false

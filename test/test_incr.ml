@@ -99,7 +99,7 @@ let test_delta_zoo () =
     (fun name ->
       let w = Zoo.find name in
       check_model w.name (w.build Zoo.Quick))
-    [ "unet"; "unet++" ]
+    Zoo.smoke_pair
 
 (** The [max_dirty] cap returns [None] rather than a wrong analysis,
     and a cap of [max_int] never bails. *)

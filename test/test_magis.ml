@@ -33,6 +33,7 @@ let () =
       ("par", Test_par.suite);
       ("resilience", Test_resilience.suite);
       ("serve", Test_serve.suite);
+      ("frontier", Test_frontier.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_props.suite);
       ("codegen", Test_codegen.suite);

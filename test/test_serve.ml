@@ -78,6 +78,17 @@ let test_protocol_roundtrip () =
       sched_states = 128;
     }
   in
+  let full_frontier =
+    {
+      P.f_id = "f-1";
+      f_model = "unet++";
+      f_scale = Zoo.Full;
+      f_hw = "tiered";
+      f_budget_ratio = 0.45;
+      f_max_iterations = 24;
+      f_sched_states = 64;
+    }
+  in
   List.iter
     (fun cmd ->
       Alcotest.(check bool)
@@ -86,6 +97,8 @@ let test_protocol_roundtrip () =
     [
       P.Optimize full_req;
       P.Optimize (P.request ~id:"r-2" ~model:"bert-base");
+      P.Frontier full_frontier;
+      P.Frontier (P.frontier_request ~id:"f-2" ~model:"unet");
       P.Health;
       P.Metrics;
       P.Pause;
@@ -118,6 +131,26 @@ let test_protocol_roundtrip () =
           o_resumed = true;
           o_deadline_hit = false;
           o_quarantined = 2;
+        };
+      P.Frontier_reply
+        {
+          fr_id = "f-1";
+          fr_cache_hit = true;
+          fr_points = 11;
+          fr_budget = 52_428_800;
+          fr_feasible = true;
+          fr_peak = 48_000_000;
+          fr_latency = 0.0125;
+        };
+      P.Frontier_reply
+        {
+          fr_id = "f-2";
+          fr_cache_hit = false;
+          fr_points = 0;
+          fr_budget = 0;
+          fr_feasible = false;
+          fr_peak = 0;
+          fr_latency = 0.0;
         };
       P.Error { e_id = Some "r-1"; kind = P.Overloaded; detail = "queue full" };
       P.Error { e_id = None; kind = P.Malformed; detail = "trailing garbage" };
@@ -359,6 +392,44 @@ let test_torn_read_quarantined () =
   Alcotest.(check string) "daemon healthy" "ok" h.status
 
 (* ------------------------------------------------------------------ *)
+(* Frontier queries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let expect_frontier = function
+  | P.Frontier_reply a -> a
+  | r ->
+      Alcotest.failf "expected a frontier reply, got %s" (P.reply_to_string r)
+
+let test_frontier_miss_builds_then_hits () =
+  let cfg = fresh_cfg "frontier" in
+  with_server cfg @@ fun addr ->
+  with_client addr @@ fun c ->
+  let fq id =
+    { (P.frontier_request ~id ~model:"unet") with P.f_max_iterations = 3 }
+  in
+  let a = expect_frontier (Client.frontier c (fq "fr-1")) in
+  Alcotest.(check string) "first reply id" "fr-1" a.fr_id;
+  Alcotest.(check bool) "first query builds" false a.fr_cache_hit;
+  Alcotest.(check bool) "the sweep left resident points" true (a.fr_points > 0);
+  let b = expect_frontier (Client.frontier c (fq "fr-2")) in
+  Alcotest.(check bool) "second query hits the cache" true b.fr_cache_hit;
+  Alcotest.(check int) "same point count from the cache" a.fr_points b.fr_points;
+  Alcotest.(check int) "same resolved budget" a.fr_budget b.fr_budget;
+  Alcotest.(check bool) "same feasibility" a.fr_feasible b.fr_feasible;
+  Alcotest.(check int) "same answer peak" a.fr_peak b.fr_peak;
+  Alcotest.(check (float 0.0)) "same answer latency" a.fr_latency b.fr_latency;
+  if a.fr_feasible then
+    Alcotest.(check bool) "answer fits the budget" true (a.fr_peak <= a.fr_budget);
+  (* an unknown hardware profile is a structured rejection, not a crash,
+     and the connection stays usable *)
+  (match Client.frontier c { (fq "fr-3") with P.f_hw = "not-a-device" } with
+  | P.Error { kind = P.Malformed; e_id = Some "fr-3"; _ } -> ()
+  | r -> Alcotest.failf "expected malformed, got %s" (P.reply_to_string r));
+  let h = Client.health c in
+  Alcotest.(check string) "daemon healthy after the frontier mix" "ok" h.status;
+  Alcotest.(check int) "build and hit both served" 2 h.served
+
+(* ------------------------------------------------------------------ *)
 (* Chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +540,8 @@ let suite =
       test_disconnect_cancels_then_resumes;
     tc "torn socket read is quarantined, never fatal"
       test_torn_read_quarantined;
+    tc "frontier: miss builds and persists, repeat hits the cache"
+      test_frontier_miss_builds_then_hits;
     tc "chaos scenarios all survive" test_chaos_daemon_survives;
     tc "SIGKILL'd daemon restarts and resumes bit-identically"
       test_sigkill_restart_resume;
